@@ -1,0 +1,170 @@
+// Package cluseq is a Go implementation of CLUSEQ (Yang & Wang, ICDE
+// 2003): clustering of categorical symbol sequences by their sequential
+// statistical features. Each cluster is summarized by a probabilistic
+// suffix tree (PST) holding the conditional probability distribution of
+// the next symbol given a preceding segment; a sequence's similarity to a
+// cluster is the maximal likelihood ratio of any of its segments against
+// a memoryless background, and the algorithm adjusts both the number of
+// clusters and the similarity threshold automatically.
+//
+// # Quick start
+//
+//	db := cluseq.NewDatabase(cluseq.MustAlphabet("acgt"))
+//	db.AddString("s1", "", "acgtacgtacgt")
+//	db.AddString("s2", "", "ttttgggg")
+//	// … add more sequences …
+//	res, err := cluseq.Cluster(db, cluseq.Options{})
+//	if err != nil { … }
+//	for _, c := range res.Clusters {
+//		fmt.Println(c.ID, c.Members)
+//	}
+//
+// The subpackages under internal/ implement the building blocks (PST,
+// suffix tree, baselines, evaluation, workload generators); this package
+// is the supported public surface.
+package cluseq
+
+import (
+	"io"
+
+	"cluseq/internal/core"
+	"cluseq/internal/eval"
+	"cluseq/internal/pst"
+	"cluseq/internal/seq"
+)
+
+// Core data types, re-exported from internal/seq.
+type (
+	// Alphabet maps runes to dense integer symbols.
+	Alphabet = seq.Alphabet
+	// Symbol is one encoded sequence element.
+	Symbol = seq.Symbol
+	// Sequence is an ordered list of symbols with an ID and an optional
+	// ground-truth label.
+	Sequence = seq.Sequence
+	// Database is a set of sequences over one alphabet.
+	Database = seq.Database
+)
+
+// Clustering types, re-exported from internal/core.
+type (
+	// Options parameterizes Cluster. The zero value uses the paper's
+	// defaults (k=1, c=30, t=1.1, automatic threshold adjustment on).
+	Options = core.Config
+	// Result is a clustering outcome: clusters, outliers, and a
+	// per-iteration trace.
+	Result = core.Result
+	// ClusterInfo describes one discovered cluster.
+	ClusterInfo = core.ClusterInfo
+	// OrderStrategy selects the sequence examination order (§6.3).
+	OrderStrategy = core.OrderStrategy
+)
+
+// Sequence processing orders (paper §6.3).
+const (
+	OrderFixed        = core.OrderFixed
+	OrderRandom       = core.OrderRandom
+	OrderClusterBased = core.OrderClusterBased
+)
+
+// PST types, re-exported for users who want direct access to the paper's
+// data structure (e.g. to model a known family and score sequences).
+type (
+	// PST is a probabilistic suffix tree.
+	PST = pst.Tree
+	// PSTConfig parameterizes a PST.
+	PSTConfig = pst.Config
+	// Similarity is a SIM evaluation result (log domain plus the
+	// best-scoring segment).
+	Similarity = pst.Similarity
+)
+
+// PST pruning strategies (paper §5.1).
+const (
+	PruneAuto           = pst.PruneAuto
+	PruneMinCount       = pst.PruneMinCount
+	PruneLongestLabel   = pst.PruneLongestLabel
+	PruneExpectedVector = pst.PruneExpectedVector
+)
+
+// Evaluation types, re-exported from internal/eval.
+type (
+	// Report holds clustering quality versus ground-truth labels.
+	Report = eval.Report
+	// Clustering is the label-free clustering representation.
+	Clustering = eval.Clustering
+)
+
+// NewAlphabet builds an alphabet from the distinct runes of s.
+func NewAlphabet(s string) (*Alphabet, error) { return seq.NewAlphabet(s) }
+
+// MustAlphabet is NewAlphabet that panics on error.
+func MustAlphabet(s string) *Alphabet { return seq.MustAlphabet(s) }
+
+// NewDatabase returns an empty database over the alphabet.
+func NewDatabase(a *Alphabet) *Database { return seq.NewDatabase(a) }
+
+// ReadDatabase parses a database from the FASTA-like text format
+// (see WriteDatabase for the format produced).
+func ReadDatabase(r io.Reader) (*Database, error) { return seq.Read(r) }
+
+// WriteDatabase serializes a database, including its alphabet directive,
+// so that a round trip preserves symbol numbering.
+func WriteDatabase(w io.Writer, db *Database) error { return seq.Write(w, db) }
+
+// Cluster runs the CLUSEQ algorithm over the database.
+func Cluster(db *Database, opts Options) (*Result, error) { return core.Cluster(db, opts) }
+
+// NewPST builds an empty probabilistic suffix tree; Insert sequences or
+// segments into it and use Similarity to score candidates against it.
+func NewPST(cfg PSTConfig) (*PST, error) { return pst.New(cfg) }
+
+// LoadPST reads a probabilistic suffix tree previously written with
+// PST.Save.
+func LoadPST(r io.Reader) (*PST, error) { return pst.Load(r) }
+
+// Classifier assigns new sequences to the clusters of a finished run,
+// applying exactly the membership rule the clustering converged to. Build
+// one with NewClassifier (from a run with Options.KeepTrees) or
+// LoadClassifier (from a saved model bundle); persist with
+// Classifier.Save.
+type Classifier = core.Classifier
+
+// Assignment is one classification outcome.
+type Assignment = core.Assignment
+
+// NewClassifier builds a classifier from a clustering result; the run
+// must have set Options.KeepTrees.
+func NewClassifier(db *Database, res *Result, opts Options) (*Classifier, error) {
+	return core.NewClassifier(db, res, opts)
+}
+
+// LoadClassifier reads a model bundle previously written with
+// Classifier.Save.
+func LoadClassifier(r io.Reader) (*Classifier, error) { return core.LoadClassifier(r) }
+
+// Evaluate scores a clustering result against ground-truth labels
+// (labels[i] belongs to database sequence i; empty labels mark outliers,
+// excluded from the quality measures). Quality is measured on the primary
+// (disjoint) membership view — each sequence counted in its best cluster —
+// the way the paper's precision/recall tables treat assignment; use
+// EvaluateOverlapping to score the full overlapping membership instead.
+func Evaluate(res *Result, labels []string) (Report, error) {
+	return eval.Evaluate(res.PrimaryClustering(), labels)
+}
+
+// EvaluateOverlapping scores the full (possibly overlapping) cluster
+// membership against ground-truth labels.
+func EvaluateOverlapping(res *Result, labels []string) (Report, error) {
+	return eval.Evaluate(res.Clustering(), labels)
+}
+
+// Labels extracts the ground-truth label vector of a database, aligned
+// with its sequence indices, for Evaluate.
+func Labels(db *Database) []string {
+	out := make([]string, db.Len())
+	for i, s := range db.Sequences {
+		out[i] = s.Label
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Command classify assigns sequences to the clusters of a previously
+// trained CLUSEQ model (see cmd/cluseq's -model flag).
+//
+// Usage:
+//
+//	classify -model model.cluseq [input-file]
+//
+// The input is the FASTA-like text format (standard input when no file is
+// given). One line per sequence is printed: the sequence ID, its assigned
+// cluster (or "outlier"), the per-symbol similarity, and any additional
+// cluster memberships.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cluseq"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelPath := fs.String("model", "", "model bundle written by cluseq -model (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *modelPath == "" || fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "usage: classify -model FILE [input-file]")
+		return 2
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "classify:", err)
+		return 1
+	}
+	clf, err := cluseq.LoadClassifier(mf)
+	mf.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "classify:", err)
+		return 1
+	}
+
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "classify:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	db, err := cluseq.ReadDatabase(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "classify:", err)
+		return 1
+	}
+
+	outliers := 0
+	for _, s := range db.Sequences {
+		a := clf.Classify(s.Symbols)
+		switch {
+		case a.Cluster == -1:
+			outliers++
+			fmt.Fprintf(stdout, "%s\toutlier\tsim=%.4f\n", s.ID, a.Similarity)
+		case len(a.Memberships) > 1:
+			fmt.Fprintf(stdout, "%s\tcluster %d\tsim=%.4f\talso %v\n", s.ID, a.Cluster, a.Similarity, a.Memberships)
+		default:
+			fmt.Fprintf(stdout, "%s\tcluster %d\tsim=%.4f\n", s.ID, a.Cluster, a.Similarity)
+		}
+	}
+	fmt.Fprintf(stderr, "classify: %d sequences against %d clusters, %d outliers\n",
+		db.Len(), clf.NumClusters(), outliers)
+	return 0
+}

@@ -1,0 +1,12 @@
+package main
+
+import "os"
+
+// Thin indirection over the filesystem so tests share the same paths the
+// command uses.
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func openFile(path string) (*os.File, error) { return os.Open(path) }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cluseq"
+	"cluseq/internal/datagen"
+)
+
+// writeTestDB renders a small labeled workload to a temp file and returns
+// its path.
+func writeTestDB(t *testing.T) string {
+	t.Helper()
+	db, err := datagen.SyntheticDB(datagen.SyntheticConfig{
+		NumSequences: 120, AvgLength: 90, AlphabetSize: 10,
+		NumClusters: 3, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := cluseq.WriteDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.txt")
+	if err := writeFile(path, buf.String()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := writeTestDB(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-c", "12", "-t", "1.05", "-depth", "5", "-fixed-c", path},
+		strings.NewReader(""), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"clusters", "ground truth found", "accuracy"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunStdinAndIDs(t *testing.T) {
+	db := cluseq.NewDatabase(cluseq.MustAlphabet("ab"))
+	for i := 0; i < 12; i++ {
+		raw := strings.Repeat("ab", 20)
+		if i%2 == 1 {
+			raw = strings.Repeat("aabb", 10)
+		}
+		if err := db.AddString(strings.Repeat("x", i+1), "", raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := cluseq.WriteDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-c", "3", "-t", "1.2", "-ids"}, strings.NewReader(buf.String()), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.TrimSpace(out.String()) == "" {
+		t.Fatal("-ids produced no output")
+	}
+}
+
+func TestRunModelRoundTrip(t *testing.T) {
+	path := writeTestDB(t)
+	model := filepath.Join(t.TempDir(), "m.cluseq")
+	var out, errOut strings.Builder
+	code := run([]string{"-c", "12", "-t", "1.05", "-depth", "5", "-fixed-c", "-model", model, "-ids", path},
+		strings.NewReader(""), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	f, err := openFile(model)
+	if err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	defer f.Close()
+	clf, err := cluseq.LoadClassifier(f)
+	if err != nil {
+		t.Fatalf("model unreadable: %v", err)
+	}
+	if clf.NumClusters() < 2 {
+		t.Fatalf("model has %d clusters", clf.NumClusters())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"a", "b"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("two args: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/file"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	if code := run([]string{"-badflag"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	// Invalid config surfaces as exit 1.
+	if code := run([]string{"-k", "-5"}, strings.NewReader("> s\nab\n"), &out, &errOut); code != 1 {
+		t.Fatalf("bad config: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cluseq"
+)
+
+func TestDatagenAllKinds(t *testing.T) {
+	for _, kind := range []string{"synthetic", "protein", "language", "trace"} {
+		args := []string{"-kind", kind, "-seed", "3"}
+		switch kind {
+		case "synthetic":
+			args = append(args, "-n", "30", "-len", "40", "-alphabet", "8", "-clusters", "3")
+		case "protein":
+			args = append(args, "-scale", "0.01")
+		case "language":
+			args = append(args, "-sentences", "5", "-noise", "2")
+		case "trace":
+			args = append(args, "-traces", "4", "-anomalies", "2")
+		}
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("%s: exit %d: %s", kind, code, errOut.String())
+		}
+		db, err := cluseq.ReadDatabase(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("%s: output not parseable: %v", kind, err)
+		}
+		if db.Len() == 0 {
+			t.Fatalf("%s: empty database", kind)
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestDatagenToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	var out, errOut strings.Builder
+	code := run([]string{"-kind", "language", "-sentences", "4", "-noise", "1", "-o", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluseq.ReadDatabase(strings.NewReader(string(data))); err != nil {
+		t.Fatalf("file not parseable: %v", err)
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-kind", "nonsense"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown kind: exit %d, want 1", code)
+	}
+	if code := run([]string{"-badflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-kind", "synthetic", "-alphabet", "1"}, &out, &errOut); code != 1 {
+		t.Fatalf("invalid config: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,147 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§6) at a chosen workload scale.
+//
+// Usage:
+//
+//	experiments [-scale tiny|small|paper] [-seed N] [-run LIST] [-v]
+//
+// -run selects a comma-separated subset of: table2, table3, table4,
+// figure4, figure5, table5, table6, order, figure6a, figure6b, figure6c,
+// figure6d (default: all).
+//
+// The paper scale replays the exact workload sizes of the paper
+// (100,000 × 1000 synthetic, 8000 proteins) and can take hours; the
+// default small scale preserves every reported shape in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cluseq/internal/experiments"
+)
+
+// result is what every experiment runner yields: printable and CSV-able.
+type result interface {
+	fmt.Stringer
+	experiments.Tabular
+}
+
+// runner names one experiment and its execution closure.
+type runner struct {
+	name string
+	run  func() (result, error)
+}
+
+// buildRunners assembles the experiment registry in paper order. Figure
+// 6's panels map to the paper's lettering: (a) clusters, (b) sequences,
+// (c) average length, (d) alphabet size.
+func buildRunners(sc experiments.Scale, seed uint64) []runner {
+	runners := []runner{
+		{"table2", func() (result, error) { return experiments.RunTable2(sc, seed) }},
+		{"table3", func() (result, error) { return experiments.RunTable3(sc, seed) }},
+		{"table4", func() (result, error) { return experiments.RunTable4(sc, seed) }},
+		{"figure4", func() (result, error) { return experiments.RunFigure4(sc, seed) }},
+		{"figure5", func() (result, error) { return experiments.RunFigure5(sc, seed) }},
+		{"table5", func() (result, error) { return experiments.RunTable5(sc, seed) }},
+		{"table6", func() (result, error) { return experiments.RunTable6(sc, seed) }},
+		{"order", func() (result, error) { return experiments.RunOrderStudy(sc, seed) }},
+		{"outliers", func() (result, error) { return experiments.RunOutlierStudy(sc, seed) }},
+	}
+	for i, axis := range experiments.Figure6Axes {
+		axis := axis
+		runners = append(runners, runner{
+			"figure6" + string(rune('a'+i)),
+			func() (result, error) { return experiments.RunFigure6(sc, axis, seed) },
+		})
+	}
+	return runners
+}
+
+// experimentNames lists the registry's names in order.
+func experimentNames() []string {
+	rs := buildRunners(experiments.ScaleTiny, 1)
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.name
+	}
+	return names
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "workload scale: tiny|small|paper")
+	seed := flag.Uint64("seed", 1, "random seed for workload generation and clustering")
+	runFlag := flag.String("run", "all", "comma-separated experiments to run, or 'all'")
+	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	sc, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	runners := buildRunners(sc, *seed)
+
+	selected := map[string]bool{}
+	all := *runFlag == "all"
+	for _, name := range strings.Split(*runFlag, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+
+	known := map[string]bool{}
+	for _, r := range runners {
+		known[r.name] = true
+	}
+	if !all {
+		for name := range selected {
+			if name != "" && !known[name] {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	failed := false
+	for _, r := range runners {
+		if !all && !selected[r.name] {
+			continue
+		}
+		start := time.Now()
+		res, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("== %s (took %.1fs) ==\n%s\n", r.name, time.Since(start).Seconds(), res)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, r.name+".csv")
+			f, err := os.Create(path)
+			if err == nil {
+				err = experiments.WriteCSV(f, res)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing CSV: %v\n", r.name, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+)
+
+// The experiments command's logic lives in internal/experiments (tested
+// there); main.go only wires flags. This file checks the name registry so
+// a renamed experiment cannot silently fall out of -run.
+func TestExperimentNameRegistry(t *testing.T) {
+	want := []string{
+		"table2", "table3", "table4", "figure4", "figure5",
+		"table5", "table6", "order", "outliers",
+		"figure6a", "figure6b", "figure6c", "figure6d",
+	}
+	got := experimentNames()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d names, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

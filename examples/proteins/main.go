@@ -1,0 +1,64 @@
+// Proteins: reproduce the flavor of the paper's §6.1 experiment — cluster
+// a database of protein-family sequences by sequential features alone and
+// measure per-family precision/recall against the ground truth.
+//
+// The workload is the repository's simulated SWISS-PROT stand-in (the
+// original 8000-protein subset is not redistributable); a downstream user
+// would load real sequences via cluseq.ReadDatabase instead.
+//
+// Run with:
+//
+//	go run ./examples/proteins
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"cluseq"
+	"cluseq/internal/datagen"
+)
+
+func main() {
+	// A 1/10-scale protein database: 30 families, ~800 sequences over the
+	// 20-letter amino-acid alphabet, family identity carried by conserved
+	// motifs plus a mild composition bias.
+	db, err := datagen.ProteinDB(datagen.ProteinConfig{Scale: 0.1, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustering %d proteins from %d families…\n", db.Len(), len(db.Labels()))
+
+	res, err := cluseq.Cluster(db, cluseq.Options{
+		// Like the paper, start with a deliberately wrong cluster count
+		// and let the algorithm adapt.
+		InitialClusters:     10,
+		Significance:        12,
+		MinDistinct:         4,
+		SimilarityThreshold: 1.5,
+		MaxDepth:            6,
+		Seed:                7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := cluseq.Evaluate(res, cluseq.Labels(db))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged to %d clusters in %d iterations (final t = %.3f)\n",
+		res.NumClusters(), res.Iterations, res.FinalThreshold)
+	fmt.Printf("accuracy %.1f%%, macro precision %.1f%%, macro recall %.1f%%\n\n",
+		100*rep.Accuracy, 100*rep.MacroPrecision, 100*rep.MacroRecall)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "family\tsize\tprecision\trecall")
+	for _, pr := range rep.PerLabel {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f%%\t%.0f%%\n",
+			pr.Label, pr.TrueSize, 100*pr.Precision, 100*pr.Recall)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a small sequence database by hand, cluster it with
+// CLUSEQ, and print the discovered clusters.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cluseq"
+)
+
+func main() {
+	// Two behavioural "species" of toy DNA reads plus one junk read:
+	// the first group alternates ac/gt doublets, the second runs long
+	// homopolymers. CLUSEQ sees only the raw symbol sequences.
+	db := cluseq.NewDatabase(cluseq.MustAlphabet("acgt"))
+	reads := []struct{ id, raw string }{
+		{"alt1", "acgtacgtacgtacgtacgtacgtacgtacgt"},
+		{"alt2", "acgtacgtacgtacgaacgtacgtacgtacgt"},
+		{"alt3", "cgtacgtacgtacgtacgtacgtacgtacgta"},
+		{"alt4", "acgtacgtccgtacgtacgtacgtacgtacgc"},
+		{"alt5", "gtacgtacgtacgtacgtacgtacgtacgtac"},
+		{"runs1", "aaaaaaccccccggggggttttttaaaaaacc"},
+		{"runs2", "ccccccggggggttttttaaaaaaccccccgg"},
+		{"runs3", "ggggggttttttaaaaaaccccccggggggtt"},
+		{"runs4", "ttttttaaaaaaccccccggggggttttttaa"},
+		{"runs5", "aaaaaaaccccccgggggggttttttaaaaac"},
+		{"junk1", "atcgtagctagcatgcatgcgatcgtagcatg"},
+	}
+	for _, r := range reads {
+		if err := db.AddString(r.id, "", r.raw); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := cluseq.Cluster(db, cluseq.Options{
+		// Tiny data: trust contexts after 2 occurrences, keep clusters
+		// with at least 2 distinctive members, and examine up to 4
+		// symbols of history.
+		Significance:        2,
+		MinDistinct:         2,
+		MaxDepth:            4,
+		SimilarityThreshold: 1.5,
+		Seed:                1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d clusters (final similarity threshold %.3f)\n",
+		res.NumClusters(), res.FinalThreshold)
+	for i, c := range res.Clusters {
+		fmt.Printf("cluster %d:", i+1)
+		for _, m := range c.Members {
+			fmt.Printf(" %s", db.Sequences[m].ID)
+		}
+		fmt.Println()
+	}
+	fmt.Print("outliers:")
+	for _, m := range res.Unclustered {
+		fmt.Printf(" %s", db.Sequences[m].ID)
+	}
+	fmt.Println()
+}

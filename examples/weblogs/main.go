@@ -1,0 +1,145 @@
+// Weblogs: cluster web-access sessions by navigation behaviour — one of
+// the motivating applications in the paper's introduction ("web usage
+// data"). Each session is the sequence of page categories a visitor hit;
+// CLUSEQ groups sessions whose *navigation patterns* match, without any
+// feature engineering, and flags bot-like traffic as outliers.
+//
+// This example is fully self-contained (it synthesizes its own sessions
+// with the standard library) and uses only the public API.
+//
+// Run with:
+//
+//	go run ./examples/weblogs
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"cluseq"
+)
+
+// Page categories, one symbol each:
+//
+//	H home  L product listing  P product page  C cart  K checkout
+//	S search  A article  F faq  U account
+const pages = "HLPCKSAFU"
+
+// profile is a first-order navigation model: for each page, where the
+// visitor tends to go next.
+type profile struct {
+	name  string
+	next  map[byte]string // page → weighted string of following pages
+	start string
+}
+
+var profiles = []profile{
+	{
+		// Shoppers funnel home → listing → product → cart → checkout.
+		name:  "shopper",
+		start: "H",
+		next: map[byte]string{
+			'H': "LLLLS", 'L': "PPPPL", 'P': "CCPLL", 'C': "KKPC", 'K': "HU",
+			'S': "LLP", 'A': "H", 'F': "C", 'U': "H",
+		},
+	},
+	{
+		// Researchers bounce between search, articles, and FAQs.
+		name:  "researcher",
+		start: "S",
+		next: map[byte]string{
+			'H': "SSA", 'S': "AAAS", 'A': "AASSF", 'F': "AS", 'P': "A",
+			'L': "S", 'C': "H", 'K': "H", 'U': "H",
+		},
+	},
+	{
+		// Window shoppers browse listings and products, never buying.
+		name:  "browser",
+		start: "L",
+		next: map[byte]string{
+			'H': "LL", 'L': "PLPL", 'P': "LPLP", 'C': "L", 'K': "H",
+			'S': "L", 'A': "L", 'F': "L", 'U': "H",
+		},
+	},
+}
+
+func sampleSession(p profile, length int, rng *rand.Rand) string {
+	out := make([]byte, 0, length)
+	cur := p.start[rng.IntN(len(p.start))]
+	for len(out) < length {
+		out = append(out, cur)
+		choices := p.next[cur]
+		cur = choices[rng.IntN(len(choices))]
+	}
+	return string(out)
+}
+
+func main() {
+	rng := rand.New(rand.NewPCG(42, 43))
+	db := cluseq.NewDatabase(cluseq.MustAlphabet(pages))
+
+	id := 0
+	add := func(label, session string) {
+		if err := db.AddString(fmt.Sprintf("s%04d", id), label, session); err != nil {
+			log.Fatal(err)
+		}
+		id++
+	}
+	for _, p := range profiles {
+		for i := 0; i < 60; i++ {
+			add(p.name, sampleSession(p, 30+rng.IntN(50), rng))
+		}
+	}
+	// Bot traffic: uniformly random page hits.
+	for i := 0; i < 12; i++ {
+		n := 30 + rng.IntN(50)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = pages[rng.IntN(len(pages))]
+		}
+		add("", string(b))
+	}
+
+	res, err := cluseq.Cluster(db, cluseq.Options{
+		Significance:        10,
+		MinDistinct:         5,
+		SimilarityThreshold: 1.5,
+		MaxDepth:            4,
+		Seed:                42,
+		FixedSignificance:   true, // navigation profiles differ globally
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := cluseq.Evaluate(res, cluseq.Labels(db))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustered %d sessions into %d behaviour groups (accuracy %.0f%%)\n\n",
+		db.Len(), res.NumClusters(), 100*rep.Accuracy)
+
+	for i, c := range res.Clusters {
+		counts := map[string]int{}
+		for _, m := range c.Members {
+			l := db.Sequences[m].Label
+			if l == "" {
+				l = "(bot)"
+			}
+			counts[l]++
+		}
+		fmt.Printf("group %d (%d sessions): %v\n", i+1, len(c.Members), counts)
+		// Show one representative session.
+		ex := db.Sequences[c.Members[0]]
+		fmt.Printf("  e.g. %s: %s\n", ex.ID, db.Alphabet.Decode(ex.Symbols))
+	}
+	bots := 0
+	for _, m := range res.Unclustered {
+		if db.Sequences[m].Label == "" {
+			bots++
+		}
+	}
+	fmt.Printf("\n%d sessions left unclustered, %d of them bot traffic\n",
+		len(res.Unclustered), bots)
+}

@@ -1,0 +1,3 @@
+module cluseq
+
+go 1.22

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cluseq/internal/pst"
+	"cluseq/internal/seq"
+)
+
+// Classifier assigns new sequences to the clusters of a finished run. It
+// wraps the kept cluster trees, the background distribution, and the
+// final similarity threshold, so the membership rule applied to new data
+// is exactly the one the clustering converged to.
+type Classifier struct {
+	trees      []*pst.Tree
+	background []float64
+	logT       float64
+	raw        bool
+}
+
+// NewClassifier builds a classifier from a clustering result. The result
+// must come from a run with Config.KeepTrees set, and db must be the
+// database that was clustered (its symbol frequencies are the similarity
+// background).
+func NewClassifier(db *seq.Database, res *Result, cfg Config) (*Classifier, error) {
+	if db == nil || res == nil {
+		return nil, fmt.Errorf("core: NewClassifier needs a database and a result")
+	}
+	if len(res.Clusters) == 0 {
+		return nil, fmt.Errorf("core: result has no clusters")
+	}
+	c := &Classifier{
+		background: db.SymbolFrequencies(),
+		logT:       math.Log(res.FinalThreshold),
+		raw:        cfg.RawSimilarity,
+	}
+	for _, cl := range res.Clusters {
+		if cl.Tree == nil {
+			return nil, fmt.Errorf("core: cluster %d carries no tree; run Cluster with Config.KeepTrees", cl.ID)
+		}
+		c.trees = append(c.trees, cl.Tree)
+	}
+	return c, nil
+}
+
+// Assignment is one classification outcome.
+type Assignment struct {
+	// Cluster is the index (into Result.Clusters) of the best cluster, or
+	// −1 when the sequence clears no cluster's threshold (an outlier).
+	Cluster int
+	// Similarity is the per-symbol normalized similarity to that cluster
+	// (or to the best-scoring cluster when Cluster is −1).
+	Similarity float64
+	// Memberships lists every cluster whose threshold the sequence
+	// clears, mirroring CLUSEQ's possibly-overlapping membership.
+	Memberships []int
+}
+
+// Classify scores one sequence against every cluster.
+func (c *Classifier) Classify(symbols []seq.Symbol) Assignment {
+	out := Assignment{Cluster: -1}
+	if len(symbols) == 0 {
+		out.Similarity = 0
+		return out
+	}
+	bestIdx, bestNorm := -1, math.Inf(-1)
+	for i, tree := range c.trees {
+		sim := tree.SimilarityFast(symbols, c.background)
+		norm := sim.LogSim
+		if !c.raw {
+			norm /= float64(len(symbols))
+		}
+		if norm >= c.logT {
+			out.Memberships = append(out.Memberships, i)
+		}
+		if norm > bestNorm {
+			bestNorm = norm
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 && bestNorm >= c.logT {
+		out.Cluster = bestIdx
+	}
+	out.Similarity = math.Exp(bestNorm)
+	return out
+}
+
+// NumClusters returns the number of clusters the classifier scores
+// against.
+func (c *Classifier) NumClusters() int { return len(c.trees) }
+
+// classifierMagic heads the single-file model bundle format.
+var classifierMagic = []byte("CLUSEQCLFv1\n")
+
+// Save writes the classifier — every cluster tree, the background
+// distribution, and the similarity threshold — as one binary stream, so a
+// clustering can be trained once and reused for classification without
+// the original database.
+func (c *Classifier) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(classifierMagic); err != nil {
+		return err
+	}
+	hdr := []any{
+		int64(len(c.trees)), int64(len(c.background)), c.logT, boolByte(c.raw),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range c.background {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	// Trees are length-prefixed: pst.Load buffers its reader, so each
+	// tree must arrive as an exactly-bounded segment.
+	var tmp bytes.Buffer
+	for _, tree := range c.trees {
+		tmp.Reset()
+		if err := tree.Save(&tmp); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int64(tmp.Len())); err != nil {
+			return err
+		}
+		if _, err := bw.Write(tmp.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LoadClassifier reads a bundle previously written by Save.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(classifierMagic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("core: reading classifier magic: %w", err)
+	}
+	if string(got) != string(classifierMagic) {
+		return nil, fmt.Errorf("core: bad classifier magic %q", got)
+	}
+	var (
+		nTrees, nBg int64
+		logT        float64
+		raw         byte
+	)
+	for _, v := range []any{&nTrees, &nBg, &logT, &raw} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: reading classifier header: %w", err)
+		}
+	}
+	if nTrees < 1 || nTrees > 1<<20 || nBg < 1 || nBg > seqMaxAlphabet {
+		return nil, fmt.Errorf("core: corrupt classifier header (%d trees, %d symbols)", nTrees, nBg)
+	}
+	c := &Classifier{logT: logT, raw: raw != 0}
+	c.background = make([]float64, nBg)
+	for i := range c.background {
+		if err := binary.Read(br, binary.LittleEndian, &c.background[i]); err != nil {
+			return nil, err
+		}
+		if !(c.background[i] > 0) {
+			return nil, fmt.Errorf("core: corrupt background entry %d: %v", i, c.background[i])
+		}
+	}
+	for i := int64(0); i < nTrees; i++ {
+		var size int64
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return nil, fmt.Errorf("core: reading tree %d size: %w", i, err)
+		}
+		if size <= 0 || size > 1<<34 {
+			return nil, fmt.Errorf("core: corrupt tree %d size %d", i, size)
+		}
+		blob := make([]byte, size)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, fmt.Errorf("core: reading tree %d: %w", i, err)
+		}
+		tree, err := pst.Load(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("core: loading tree %d: %w", i, err)
+		}
+		if tree.Config().AlphabetSize != int(nBg) {
+			return nil, fmt.Errorf("core: tree %d alphabet %d != background %d", i, tree.Config().AlphabetSize, nBg)
+		}
+		c.trees = append(c.trees, tree)
+	}
+	return c, nil
+}
+
+const seqMaxAlphabet = seq.MaxAlphabetSize

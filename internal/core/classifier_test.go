@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"cluseq/internal/datagen"
+	"cluseq/internal/seq"
+)
+
+func TestClassifierAssignsNewSequences(t *testing.T) {
+	db := testDB(t, 200, 3, 0, 91)
+	cfg := testConfig()
+	cfg.KeepTrees = true
+	res, err := Cluster(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() < 2 {
+		t.Skipf("only %d clusters formed", res.NumClusters())
+	}
+	clf, err := NewClassifier(db, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf.NumClusters() != res.NumClusters() {
+		t.Fatalf("classifier has %d clusters, result %d", clf.NumClusters(), res.NumClusters())
+	}
+
+	// Label each cluster by its majority planted source, then classify
+	// FRESH sequences from each source and check they land in a cluster
+	// of the matching majority.
+	majority := make([]string, res.NumClusters())
+	for i, c := range res.Clusters {
+		counts := map[string]int{}
+		for _, m := range c.Members {
+			counts[db.Sequences[m].Label]++
+		}
+		best, bestN := "", 0
+		for l, n := range counts {
+			if n > bestN {
+				best, bestN = l, n
+			}
+		}
+		majority[i] = best
+	}
+
+	rng := newTestRand(123)
+	correct, total := 0, 0
+	for srcID := 0; srcID < 3; srcID++ {
+		src := datagen.NewClusterSource(srcID, 91, 12, 3)
+		want := []string{"cluster00", "cluster01", "cluster02"}[srcID]
+		for trial := 0; trial < 10; trial++ {
+			probe := src.Generate(120, rng)
+			a := clf.Classify(probe)
+			total++
+			if a.Cluster >= 0 && majority[a.Cluster] == want {
+				correct++
+			}
+		}
+	}
+	if float64(correct)/float64(total) < 0.7 {
+		t.Fatalf("classifier got %d/%d fresh sequences right", correct, total)
+	}
+}
+
+func TestClassifierRejectsOutliers(t *testing.T) {
+	db := testDB(t, 150, 3, 0, 97)
+	cfg := testConfig()
+	cfg.KeepTrees = true
+	res, err := Cluster(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := NewClassifier(db, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newTestRand(5)
+	rejected := 0
+	const probes = 20
+	for i := 0; i < probes; i++ {
+		noise := randomNoise(rng, 120, 12)
+		if a := clf.Classify(noise); a.Cluster == -1 {
+			rejected++
+			if len(a.Memberships) != 0 {
+				t.Fatal("outlier with -1 cluster must have empty memberships")
+			}
+		}
+	}
+	if rejected < probes*6/10 {
+		t.Fatalf("only %d/%d random probes rejected", rejected, probes)
+	}
+}
+
+func TestClassifierEmptyAndErrors(t *testing.T) {
+	db := testDB(t, 80, 2, 0, 101)
+	cfg := testConfig()
+	res, err := Cluster(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without KeepTrees the classifier must refuse.
+	if _, err := NewClassifier(db, res, cfg); err == nil {
+		t.Fatal("NewClassifier should fail without kept trees")
+	}
+	if _, err := NewClassifier(nil, res, cfg); err == nil {
+		t.Fatal("NewClassifier should fail on nil database")
+	}
+	if _, err := NewClassifier(db, &Result{}, cfg); err == nil {
+		t.Fatal("NewClassifier should fail on empty result")
+	}
+
+	cfg.KeepTrees = true
+	res, err = Cluster(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := NewClassifier(db, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := clf.Classify(nil)
+	if a.Cluster != -1 || len(a.Memberships) != 0 {
+		t.Fatalf("empty sequence should be an outlier: %+v", a)
+	}
+}
+
+func TestClassifierSaveLoadRoundTrip(t *testing.T) {
+	db := testDB(t, 150, 3, 0, 103)
+	cfg := testConfig()
+	cfg.KeepTrees = true
+	res, err := Cluster(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := NewClassifier(db, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadClassifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadClassifier: %v", err)
+	}
+	if loaded.NumClusters() != clf.NumClusters() {
+		t.Fatalf("clusters = %d, want %d", loaded.NumClusters(), clf.NumClusters())
+	}
+	// Every sequence must classify identically.
+	for _, s := range db.Sequences[:40] {
+		a := clf.Classify(s.Symbols)
+		b := loaded.Classify(s.Symbols)
+		if a.Cluster != b.Cluster || math.Abs(a.Similarity-b.Similarity) > 1e-9 {
+			t.Fatalf("classification differs after round trip: %+v vs %+v", a, b)
+		}
+		if len(a.Memberships) != len(b.Memberships) {
+			t.Fatalf("memberships differ: %v vs %v", a.Memberships, b.Memberships)
+		}
+	}
+}
+
+func TestLoadClassifierRejectsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTACLASSIFIER bundle with enough bytes"),
+		"truncated": append([]byte("CLUSEQCLFv1\n"), 1, 2, 3),
+	}
+	for name, in := range cases {
+		if _, err := LoadClassifier(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: LoadClassifier should fail", name)
+		}
+	}
+}
+
+func randomNoise(rng *rand.Rand, n, alpha int) []seq.Symbol {
+	out := make([]seq.Symbol, n)
+	for i := range out {
+		out[i] = seq.Symbol(rng.IntN(alpha))
+	}
+	return out
+}

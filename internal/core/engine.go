@@ -1,0 +1,631 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cluseq/internal/pst"
+	"cluseq/internal/seq"
+)
+
+// cluster is one live cluster during the run.
+type cluster struct {
+	id      int
+	seedIdx int
+	tree    *pst.Tree
+	// members is the set of database indices currently in the cluster,
+	// rebuilt by every reclustering pass.
+	members map[int]bool
+}
+
+// engine carries the mutable state of one clustering run.
+type engine struct {
+	db         *seq.Database
+	cfg        Config
+	rng        *rand.Rand
+	background []float64
+
+	clusters []*cluster
+	logT     float64
+	tStable  bool // §4.6: t and t̂ within 1%, stop adjusting
+	tMoved   bool // t changed during the current iteration
+
+	// growth-factor bookkeeping (§4.1).
+	prevNew        int
+	prevEliminated int
+
+	nextID int
+}
+
+func (e *engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+func (e *engine) newTree() *pst.Tree {
+	return pst.MustNew(pst.Config{
+		AlphabetSize:         e.db.Alphabet.Size(),
+		MaxDepth:             e.cfg.MaxDepth,
+		Significance:         e.cfg.Significance,
+		MaxBytes:             e.cfg.MaxPSTBytes,
+		Prune:                e.cfg.Prune,
+		PMin:                 e.cfg.PMin,
+		Shrinkage:            e.cfg.Shrinkage,
+		AdaptiveSignificance: e.cfg.Shrinkage <= 0 && !e.cfg.FixedSignificance,
+	})
+}
+
+// membershipOf returns, per sequence, the sorted IDs of clusters holding
+// it; used to detect convergence.
+func (e *engine) membershipOf() [][]int {
+	out := make([][]int, e.db.Len())
+	for _, c := range e.clusters {
+		for i := range c.members {
+			out[i] = append(out[i], c.id)
+		}
+	}
+	for i := range out {
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+func sameMembership(a, b [][]int) bool {
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (e *engine) unclusteredIndices() []int {
+	covered := make([]bool, e.db.Len())
+	for _, c := range e.clusters {
+		for i := range c.members {
+			covered[i] = true
+		}
+	}
+	var out []int
+	for i, cov := range covered {
+		if !cov {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// run executes the outer loop of Figure 2.
+func (e *engine) run() (*Result, error) {
+	res := &Result{n: e.db.Len()}
+	prevMembership := e.membershipOf()
+	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+		trace := IterationTrace{}
+
+		// 1. New cluster generation (§4.1).
+		kn := e.newClusterBudget(iter)
+		created := e.generateClusters(kn)
+		trace.NewClusters = created
+		e.prevNew = created
+
+		// 2. Sequence reclustering (§4.2-4.4), collecting every
+		// sequence-cluster log-similarity for the §4.6 histogram.
+		logSims := e.recluster()
+
+		// 3. Cluster consolidation (§4.5).
+		eliminated := e.consolidate()
+		trace.Consolidated = eliminated
+		e.prevEliminated = eliminated
+
+		membership := e.membershipOf()
+		moves := 0
+		for i := range membership {
+			if len(membership[i]) != len(prevMembership[i]) {
+				moves++
+				continue
+			}
+			for j := range membership[i] {
+				if membership[i][j] != prevMembership[i][j] {
+					moves++
+					break
+				}
+			}
+		}
+		trace.MembershipMoves = moves
+
+		// 4. Optional adjustment of t (§4.6). The adjuster sees whether
+		// the iteration was starved (no moves, much unclustered) so the
+		// auto valley estimator can unstick a threshold that settled
+		// above the reach of fresh seed clusters.
+		e.tMoved = false
+		if !e.cfg.FixedThreshold {
+			unclustered := len(e.unclusteredIndices())
+			starved := moves == 0 && unclustered > e.db.Len()/3
+			trace.ValleyEstimate = e.adjustThreshold(logSims, starved)
+		}
+		trace.Clusters = len(e.clusters)
+		trace.Threshold = math.Exp(e.logT)
+		trace.Unclustered = len(e.unclusteredIndices())
+		res.Trace = append(res.Trace, trace)
+		res.Iterations = iter + 1
+		e.logf("iter %d: +%d new, -%d consolidated, %d clusters, %d moves, t=%.4g, %d unclustered",
+			iter+1, trace.NewClusters, trace.Consolidated, trace.Clusters,
+			moves, trace.Threshold, trace.Unclustered)
+
+		// Termination (§4): same number of clusters, no membership change,
+		// and the similarity threshold has settled (a still-descending t
+		// can otherwise strand the run before any cluster can form).
+		if moves == 0 && created == eliminated && !e.tMoved && iter > 0 {
+			break
+		}
+		prevMembership = membership
+	}
+
+	e.refine()
+
+	res.FinalThreshold = math.Exp(e.logT)
+	res.Unclustered = e.unclusteredIndices()
+	// Stable output order: by cluster size descending, then ID.
+	sort.Slice(e.clusters, func(i, j int) bool {
+		if len(e.clusters[i].members) != len(e.clusters[j].members) {
+			return len(e.clusters[i].members) > len(e.clusters[j].members)
+		}
+		return e.clusters[i].id < e.clusters[j].id
+	})
+	for _, c := range e.clusters {
+		info := &ClusterInfo{
+			ID:        c.id,
+			SeedIndex: c.seedIdx,
+			TreeStats: c.tree.Stats(),
+		}
+		if e.cfg.KeepTrees {
+			info.Tree = c.tree
+		}
+		for i := range c.members {
+			info.Members = append(info.Members, i)
+		}
+		sort.Ints(info.Members)
+		res.Clusters = append(res.Clusters, info)
+	}
+	res.Primary = e.primaryAssignment()
+	return res, nil
+}
+
+// refine runs the post-convergence batch refinement passes (see
+// Config.RefinePasses): rebuild every tree from its current members' full
+// sequences, recompute membership at the settled threshold, consolidate.
+func (e *engine) refine() {
+	for pass := 0; pass < e.cfg.RefinePasses; pass++ {
+		for _, c := range e.clusters {
+			tree := e.newTree()
+			// Re-insert each member's best-scoring segment under the old
+			// tree (not the whole sequence: the §4.4 segment updates are
+			// what keep cluster trees focused on the shared signal rather
+			// than the background).
+			members := make([]int, 0, len(c.members))
+			for m := range c.members {
+				members = append(members, m)
+			}
+			sort.Ints(members)
+			segs := make([][2]int, len(members))
+			e.forEachWorker(len(members), func(i int) {
+				s := e.db.Sequences[members[i]]
+				sim := c.tree.SimilarityFast(s.Symbols, e.background)
+				segs[i] = [2]int{sim.Start, sim.End}
+			})
+			for i, m := range members {
+				tree.Insert(e.db.Sequences[m].Symbols[segs[i][0]:segs[i][1]])
+			}
+			c.tree = tree
+		}
+		// Pure reassignment: no incremental insertion, so membership
+		// reflects exactly the rebuilt statistics.
+		sims := make([]pst.Similarity, len(e.clusters))
+		for si, s := range e.db.Sequences {
+			if len(s.Symbols) == 0 {
+				continue
+			}
+			e.forEachWorker(len(e.clusters), func(ci int) {
+				sims[ci] = e.clusters[ci].tree.SimilarityFast(s.Symbols, e.background)
+			})
+			for ci, c := range e.clusters {
+				if e.normalizedLogSim(sims[ci], len(s.Symbols)) >= e.logT {
+					c.members[si] = true
+				} else {
+					delete(c.members, si)
+				}
+			}
+		}
+		e.consolidate()
+	}
+}
+
+// primaryAssignment scores every sequence against the clusters it belongs
+// to and returns the index of its best cluster (−1 when unclustered).
+func (e *engine) primaryAssignment() []int {
+	out := make([]int, e.db.Len())
+	for i := range out {
+		out[i] = -1
+	}
+	memberOf := make([][]int, e.db.Len())
+	for ci, c := range e.clusters {
+		for m := range c.members {
+			memberOf[m] = append(memberOf[m], ci)
+		}
+	}
+	e.forEachWorker(e.db.Len(), func(si int) {
+		clusters := memberOf[si]
+		if len(clusters) == 0 {
+			return
+		}
+		if len(clusters) == 1 {
+			out[si] = clusters[0]
+			return
+		}
+		s := e.db.Sequences[si]
+		best, bestSim := clusters[0], math.Inf(-1)
+		for _, ci := range clusters {
+			sim := e.normalizedLogSim(e.clusters[ci].tree.SimilarityFast(s.Symbols, e.background), len(s.Symbols))
+			if sim > bestSim {
+				bestSim = sim
+				best = ci
+			}
+		}
+		out[si] = best
+	})
+	return out
+}
+
+// newClusterBudget computes k_n per §4.1: the initial k on the first
+// iteration, then k'·f with growth factor f = max(k'_n − k'_c, 0)/k'_n.
+//
+// The paper prints f = max{k'_n − k'_c, 0}/k'_c, but also states
+// 0 ≤ f ≤ 1 and that f ≈ 1 when consolidation eliminates little — both of
+// which hold only with k'_n as the denominator (the surviving fraction of
+// the previous iteration's new clusters); we read the printed k'_c as a
+// typo.
+func (e *engine) newClusterBudget(iter int) int {
+	if iter == 0 {
+		return e.cfg.InitialClusters
+	}
+	if e.prevNew <= 0 {
+		// Nothing was generated last iteration (no unclustered seeds were
+		// available, or the pace had dropped to zero). The paper's formula
+		// is silent here; keep minimal seeding pressure so sequences that
+		// later fall out of clusters (e.g. after t rises) can still found
+		// new ones. A one-cluster probe that gets consolidated away does
+		// not block termination, since created == eliminated.
+		return 1
+	}
+	f := float64(maxInt(e.prevNew-e.prevEliminated, 0)) / float64(e.prevNew)
+	budget := int(float64(len(e.clusters))*f + 0.5)
+	if budget == 0 {
+		budget = 1
+	}
+	return budget
+}
+
+// generateClusters seeds up to kn new clusters from the unclustered
+// sequences (§4.1): sample m = SampleFactor·kn candidates, build one PST
+// per candidate, then greedily pick the candidate with the least maximal
+// similarity to every existing cluster and already-picked seed.
+func (e *engine) generateClusters(kn int) int {
+	if kn <= 0 {
+		return 0
+	}
+	unclustered := e.unclusteredIndices()
+	if len(unclustered) == 0 {
+		return 0
+	}
+	if kn > len(unclustered) {
+		kn = len(unclustered)
+	}
+	m := e.cfg.SampleFactor * kn
+	if m > len(unclustered) {
+		m = len(unclustered)
+	}
+	// Draw the sample.
+	perm := e.rng.Perm(len(unclustered))
+	sample := make([]int, m)
+	for i := 0; i < m; i++ {
+		sample[i] = unclustered[perm[i]]
+	}
+
+	// Highest similarity of each candidate to any cluster in T (existing
+	// clusters now, updated incrementally as seeds are added).
+	maxSim := make([]float64, m)
+	for i := range maxSim {
+		maxSim[i] = math.Inf(-1)
+	}
+	e.forEachWorker(m, func(i int) {
+		syms := e.db.Sequences[sample[i]].Symbols
+		for _, c := range e.clusters {
+			s := e.normalizedLogSim(c.tree.SimilarityFast(syms, e.background), len(syms))
+			if s > maxSim[i] {
+				maxSim[i] = s
+			}
+		}
+	})
+
+	picked := make([]bool, m)
+	created := 0
+	for step := 0; step < kn; step++ {
+		best, bestSim := -1, math.Inf(1)
+		for i := 0; i < m; i++ {
+			if !picked[i] && maxSim[i] < bestSim {
+				bestSim = maxSim[i]
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		picked[best] = true
+		idx := sample[best]
+		c := &cluster{
+			id:      e.nextID,
+			seedIdx: idx,
+			tree:    e.newTree(),
+			members: map[int]bool{idx: true},
+		}
+		e.nextID++
+		c.tree.Insert(e.db.Sequences[idx].Symbols)
+		e.clusters = append(e.clusters, c)
+		created++
+		// Update remaining candidates against the new seed cluster.
+		for i := 0; i < m; i++ {
+			if picked[i] {
+				continue
+			}
+			syms := e.db.Sequences[sample[i]].Symbols
+			s := e.normalizedLogSim(c.tree.SimilarityFast(syms, e.background), len(syms))
+			if s > maxSim[i] {
+				maxSim[i] = s
+			}
+		}
+	}
+	return created
+}
+
+// normalizedLogSim converts a similarity to the per-symbol log scale the
+// thresholds live on (see Config.SimilarityThreshold).
+func (e *engine) normalizedLogSim(sim pst.Similarity, seqLen int) float64 {
+	if e.cfg.RawSimilarity || seqLen == 0 {
+		return sim.LogSim
+	}
+	return sim.LogSim / float64(seqLen)
+}
+
+// recluster runs one §4.2 pass: every sequence is scored against every
+// cluster; it joins those with similarity ≥ t, and each joined cluster's
+// tree absorbs the best-scoring segment. Returns all (normalized)
+// log-similarities for the threshold histogram.
+func (e *engine) recluster() []float64 {
+	order := e.sequenceOrder()
+	logSims := make([]float64, 0, len(order)*maxInt(len(e.clusters), 1))
+	sims := make([]pst.Similarity, len(e.clusters))
+	for _, si := range order {
+		s := e.db.Sequences[si]
+		if len(s.Symbols) == 0 {
+			continue
+		}
+		e.forEachWorker(len(e.clusters), func(ci int) {
+			sims[ci] = e.clusters[ci].tree.SimilarityFast(s.Symbols, e.background)
+		})
+		for ci, c := range e.clusters {
+			sim := sims[ci]
+			norm := e.normalizedLogSim(sim, len(s.Symbols))
+			// The seed's similarity to its own tree is a memorization
+			// artifact (the whole sequence was inserted), far above any
+			// genuine member's score; keep it out of the threshold
+			// histogram.
+			if !math.IsInf(norm, -1) && si != c.seedIdx {
+				logSims = append(logSims, norm)
+			}
+			if norm >= e.logT {
+				// §4.2/§4.4: when a sequence joins a cluster, the segment
+				// producing the maximum similarity updates the tree — on
+				// the join transition only; re-inserting a continuing
+				// member every iteration would let the tree memorize its
+				// members, inflate their similarities without bound, and
+				// drag the §4.6 threshold up until it locks everyone
+				// else out.
+				if !c.members[si] {
+					c.members[si] = true
+					if e.cfg.InsertWhole {
+						c.tree.Insert(s.Symbols)
+					} else {
+						c.tree.Insert(s.Symbols[sim.Start:sim.End])
+					}
+				}
+			} else {
+				delete(c.members, si)
+			}
+		}
+	}
+	return logSims
+}
+
+// sequenceOrder yields the §6.3 examination order.
+func (e *engine) sequenceOrder() []int {
+	n := e.db.Len()
+	switch e.cfg.Order {
+	case OrderRandom:
+		return e.rng.Perm(n)
+	case OrderClusterBased:
+		out := make([]int, 0, n)
+		seen := make([]bool, n)
+		for _, c := range e.clusters {
+			var members []int
+			for i := range c.members {
+				if !seen[i] {
+					members = append(members, i)
+					seen[i] = true
+				}
+			}
+			sort.Ints(members)
+			out = append(out, members...)
+		}
+		for i := 0; i < n; i++ {
+			if !seen[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	default: // OrderFixed
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+}
+
+// consolidate dismisses clusters covered by larger ones (§4.5): scanning
+// in ascending size order, a cluster is dropped when fewer than
+// MinDistinct of its members are outside every other surviving cluster of
+// larger (or equal, later-scanned) size.
+func (e *engine) consolidate() int {
+	if len(e.clusters) < 2 {
+		return 0
+	}
+	idx := make([]int, len(e.clusters))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := e.clusters[idx[a]], e.clusters[idx[b]]
+		if len(ca.members) != len(cb.members) {
+			return len(ca.members) < len(cb.members)
+		}
+		return ca.id > cb.id // among equals, newer clusters go first
+	})
+	dismissed := make([]bool, len(e.clusters))
+	eliminated := 0
+	for pos, ci := range idx {
+		c := e.clusters[ci]
+		distinct := 0
+		for m := range c.members {
+			coveredElsewhere := false
+			// Only clusters later in the scan order (larger, or equal-size
+			// older) count as cover, matching the paper's "other (larger)
+			// clusters".
+			for _, cj := range idx[pos+1:] {
+				if !dismissed[cj] && e.clusters[cj].members[m] {
+					coveredElsewhere = true
+					break
+				}
+			}
+			if !coveredElsewhere {
+				distinct++
+				if distinct >= e.cfg.MinDistinct {
+					break
+				}
+			}
+		}
+		if distinct < e.cfg.MinDistinct {
+			dismissed[ci] = true
+			eliminated++
+			if e.cfg.MergeConsolidation {
+				e.mergeInto(c, idx[pos+1:], dismissed)
+			}
+		}
+	}
+	if eliminated == 0 {
+		return 0
+	}
+	kept := e.clusters[:0]
+	for i, c := range e.clusters {
+		if !dismissed[i] {
+			kept = append(kept, c)
+		}
+	}
+	e.clusters = kept
+	return eliminated
+}
+
+// mergeInto absorbs the dismissed cluster c into the surviving later-scan
+// cluster sharing the most members (tree statistics and membership both),
+// implementing the merge-consolidation extension.
+func (e *engine) mergeInto(c *cluster, later []int, dismissed []bool) {
+	var target *cluster
+	bestOverlap := -1
+	for _, cj := range later {
+		if dismissed[cj] {
+			continue
+		}
+		cand := e.clusters[cj]
+		overlap := 0
+		for m := range c.members {
+			if cand.members[m] {
+				overlap++
+			}
+		}
+		if overlap > bestOverlap {
+			bestOverlap = overlap
+			target = cand
+		}
+	}
+	if target == nil || bestOverlap == 0 {
+		return // nothing meaningfully overlaps; plain dismissal
+	}
+	if err := target.tree.Merge(c.tree); err != nil {
+		// Trees within one run always share configuration; a mismatch
+		// would be a programming error worth surfacing loudly.
+		panic(err)
+	}
+	for m := range c.members {
+		target.members[m] = true
+	}
+}
+
+// forEachWorker runs fn(i) for i in [0, n), in parallel when the
+// configuration allows and n is large enough to pay for it.
+func (e *engine) forEachWorker(n int, fn func(i int)) {
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

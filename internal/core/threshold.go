@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"cluseq/internal/histogram"
+)
+
+// adjustThreshold implements §4.6: build a histogram of all
+// sequence-cluster similarities observed this iteration, locate the valley
+// t̂ (the sharpest turn of the curve, by maximal left/right regression
+// slope difference), and move t halfway toward it. Returns the valley
+// estimate (1.0 ≡ log 0 means "none found").
+//
+// Engineering note: the paper histograms raw similarities. Raw
+// similarities span hundreds of orders of magnitude (they are products of
+// l per-symbol ratios), so a fixed-granularity linear histogram would
+// collapse all background mass into one bucket; we histogram
+// log-similarities over a clamped range instead, which preserves the
+// valley the heuristic is after and keeps the bucket count meaningful.
+func (e *engine) adjustThreshold(logSims []float64, starved bool) float64 {
+	if e.tStable && !starved {
+		return 0 // §4.6: t and t̂ converged; only starvation reopens it
+	}
+	if len(logSims) < 2*e.cfg.HistogramBuckets {
+		return 0 // too few observations for a meaningful valley
+	}
+	// Trim the extreme 2% on both sides: a handful of memorization
+	// artifacts (e.g. early members whose inserted segments dominate a
+	// still-small tree) would otherwise stretch the histogram domain and
+	// drag the split far beyond the genuine member mode.
+	sorted := append([]float64(nil), logSims...)
+	sort.Float64s(sorted)
+	lo := sorted[len(sorted)/50]
+	hi := sorted[len(sorted)-1-len(sorted)/50]
+	if !(lo < hi) {
+		return 0
+	}
+	h, err := histogram.New(lo, hi, e.cfg.HistogramBuckets)
+	if err != nil {
+		return 0
+	}
+	for _, v := range logSims {
+		h.Add(v)
+	}
+	// Two estimators of the background/member boundary: the paper's
+	// regression-turn valley hugs the right edge of the background mode
+	// (optimistic — lets clusters grow, consolidation cleans up), while
+	// Otsu's split is robust when the background mode has a soft tail.
+	// The default takes the smaller of the two, inheriting the paper's
+	// growth-friendly bias with Otsu as a sanity bound.
+	var valleyLog float64
+	var ok bool
+	switch e.cfg.Valley {
+	case ValleyOtsu:
+		valleyLog, ok = h.OtsuThreshold()
+	case ValleyRegression:
+		valleyLog, ok = h.Valley()
+	default: // ValleyAuto
+		valleyLog, ok = h.OtsuThreshold()
+		if starved {
+			if reg, okR := h.Valley(); okR && (!ok || reg < valleyLog) {
+				valleyLog, ok = reg, true
+				e.tStable = false
+			}
+		}
+	}
+	if !ok {
+		return 0
+	}
+	tHat := clampThreshold(math.Exp(valleyLog))
+	t := math.Exp(e.logT)
+	// §4.6: approach t̂ at a conservative pace; stop when within 1%.
+	if math.Abs(t-tHat) < 0.01*tHat {
+		e.tStable = true
+		return tHat
+	}
+	e.logT = math.Log(clampThreshold((t + tHat) / 2))
+	e.tMoved = true
+	return tHat
+}

@@ -1,0 +1,225 @@
+// Package datagen generates the three kinds of workloads the paper
+// evaluates on, none of which ship with it:
+//
+//   - SyntheticDB replaces the paper's synthetic generator (§6.2-6.4):
+//     every cluster is a distinct random short-memory source ("sequences
+//     in a cluster are all generated according to the same probabilistic
+//     suffix tree"), plus memoryless outliers.
+//   - ProteinDB replaces the SWISS-PROT subset of §6.1: 30 families with
+//     the paper's size distribution over the 20-letter amino-acid
+//     alphabet, each family a distinct order-2 source with conserved
+//     motifs.
+//   - LanguageDB replaces the CNN/Sina/Yahoo-Japan sentence corpora:
+//     letter-statistics generators for English, pinyin-romanized Chinese
+//     and romaji Japanese, spaces removed, plus noise sentences imitating
+//     other languages.
+//
+// All generators are fully deterministic given their seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"cluseq/internal/seq"
+)
+
+// SyntheticConfig parameterizes SyntheticDB. The zero value is completed
+// with the paper's §6.2 defaults scaled down to laptop size.
+type SyntheticConfig struct {
+	NumSequences int     // default 1000   (paper: 100,000)
+	AvgLength    int     // default 200    (paper: 1000)
+	AlphabetSize int     // default 100
+	NumClusters  int     // default 10     (paper: 50 or 100)
+	Order        int     // context length of the planted sources, default 3
+	OutlierFrac  float64 // fraction of memoryless outlier sequences, default 0.05
+	Seed         uint64  // default 1
+}
+
+func (c SyntheticConfig) withDefaults() SyntheticConfig {
+	if c.NumSequences == 0 {
+		c.NumSequences = 1000
+	}
+	if c.AvgLength == 0 {
+		c.AvgLength = 200
+	}
+	if c.AlphabetSize == 0 {
+		c.AlphabetSize = 100
+	}
+	if c.NumClusters == 0 {
+		c.NumClusters = 10
+	}
+	if c.Order == 0 {
+		c.Order = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ClusterSource is one planted short-memory sequence source. Its
+// conditional distribution over the next symbol given the last Order
+// symbols is a deterministic function of the context, so the source
+// behaves exactly like a (lazily materialized) probabilistic suffix tree
+// of depth Order without storing |Σ|^Order rows.
+type ClusterSource struct {
+	id       int
+	seed     uint64
+	alphabet int
+	order    int
+}
+
+// NewClusterSource returns the planted source for cluster id under the
+// given generation seed.
+func NewClusterSource(id int, seed uint64, alphabetSize, order int) *ClusterSource {
+	return &ClusterSource{id: id, seed: seed, alphabet: alphabetSize, order: order}
+}
+
+// nextDist returns the (peaked) conditional distribution for a context via
+// seeded hashing: three preferred symbols carry 85% of the mass, the rest
+// spreads uniformly. Distinct clusters use distinct seeds, so their
+// conditional distributions disagree almost everywhere — the property the
+// paper's similarity measure detects.
+func (cs *ClusterSource) nextDist(ctx []seq.Symbol) (preferred [3]seq.Symbol, weights [3]float64) {
+	h := cs.seed ^ (uint64(cs.id)+1)*0x9e3779b97f4a7c15
+	for _, s := range ctx {
+		h ^= uint64(s) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	r := rand.New(rand.NewPCG(h, h^0xdeadbeefcafef00d))
+	for i := range preferred {
+		preferred[i] = seq.Symbol(r.IntN(cs.alphabet))
+	}
+	weights = [3]float64{0.60, 0.25, 0.10}
+	return preferred, weights
+}
+
+// Next samples the next symbol given the context suffix. The source is a
+// mixture over context orders 0…Order: with fixed mixture weights it
+// consults the cluster's order-0 (unigram), order-1, … preferences, each a
+// peaked distribution derived from the corresponding context suffix. The
+// mixture makes lower-order marginals carry cluster identity too — the
+// hierarchical structure real short-memory sources (text, proteins) have,
+// and what lets a probabilistic suffix tree bootstrap from shallow
+// contexts before deep ones turn significant.
+func (cs *ClusterSource) Next(ctx []seq.Symbol, rng *rand.Rand) seq.Symbol {
+	if len(ctx) > cs.order {
+		ctx = ctx[len(ctx)-cs.order:]
+	}
+	// Pick the context order for this emission: geometric-ish decay over
+	// 0..Order, truncated by the available context.
+	d := 0
+	for u := rng.Float64(); d < cs.order; d++ {
+		if u < 0.35 {
+			break
+		}
+		u = (u - 0.35) / 0.65
+	}
+	if d > len(ctx) {
+		d = len(ctx)
+	}
+	preferred, weights := cs.nextDist(ctx[len(ctx)-d:])
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return preferred[i]
+		}
+	}
+	return seq.Symbol(rng.IntN(cs.alphabet))
+}
+
+// Generate samples one sequence of the given length from the source.
+func (cs *ClusterSource) Generate(length int, rng *rand.Rand) []seq.Symbol {
+	out := make([]seq.Symbol, 0, length)
+	for len(out) < length {
+		out = append(out, cs.Next(out, rng))
+	}
+	return out
+}
+
+// SyntheticDB generates a labeled synthetic database per the paper's §6.2
+// setup. Cluster labels are "cluster00", "cluster01", …; outliers carry an
+// empty label.
+func SyntheticDB(cfg SyntheticConfig) (*seq.Database, error) {
+	cfg = cfg.withDefaults()
+	if cfg.AlphabetSize < 2 || cfg.AlphabetSize > seq.MaxAlphabetSize {
+		return nil, fmt.Errorf("datagen: alphabet size %d out of range", cfg.AlphabetSize)
+	}
+	if cfg.OutlierFrac < 0 || cfg.OutlierFrac >= 1 {
+		return nil, fmt.Errorf("datagen: outlier fraction %v out of [0,1)", cfg.OutlierFrac)
+	}
+	if cfg.NumClusters < 1 || cfg.NumSequences < cfg.NumClusters {
+		return nil, fmt.Errorf("datagen: need at least one sequence per cluster (%d clusters, %d sequences)", cfg.NumClusters, cfg.NumSequences)
+	}
+	alphabet, err := syntheticAlphabet(cfg.AlphabetSize)
+	if err != nil {
+		return nil, err
+	}
+	db := seq.NewDatabase(alphabet)
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5bf03635))
+
+	sources := make([]*ClusterSource, cfg.NumClusters)
+	for i := range sources {
+		sources[i] = NewClusterSource(i, cfg.Seed, cfg.AlphabetSize, cfg.Order)
+	}
+	outliers := int(float64(cfg.NumSequences) * cfg.OutlierFrac)
+	clustered := cfg.NumSequences - outliers
+
+	for i := 0; i < clustered; i++ {
+		c := i % cfg.NumClusters // round-robin keeps cluster sizes balanced
+		length := sampleLength(cfg.AvgLength, rng)
+		db.Add(&seq.Sequence{
+			ID:      fmt.Sprintf("syn%06d", i),
+			Label:   fmt.Sprintf("cluster%02d", c),
+			Symbols: sources[c].Generate(length, rng),
+		})
+	}
+	for i := 0; i < outliers; i++ {
+		length := sampleLength(cfg.AvgLength, rng)
+		syms := make([]seq.Symbol, length)
+		for j := range syms {
+			syms[j] = seq.Symbol(rng.IntN(cfg.AlphabetSize))
+		}
+		db.Add(&seq.Sequence{ID: fmt.Sprintf("out%06d", i), Symbols: syms})
+	}
+	// Interleave outliers into the body deterministically rather than
+	// leaving them grouped at the tail.
+	rng.Shuffle(db.Len(), func(i, j int) {
+		db.Sequences[i], db.Sequences[j] = db.Sequences[j], db.Sequences[i]
+	})
+	return db, nil
+}
+
+// sampleLength draws a length around avg (uniform in [avg/2, 3·avg/2],
+// minimum 4) so that the database exhibits the varied lengths the paper's
+// model claims to handle seamlessly.
+func sampleLength(avg int, rng *rand.Rand) int {
+	lo := avg / 2
+	if lo < 4 {
+		lo = 4
+	}
+	return lo + rng.IntN(avg+1)
+}
+
+// syntheticAlphabet builds an n-symbol alphabet from a fixed printable
+// repertoire, extending into higher code points when n is large.
+func syntheticAlphabet(n int) (*seq.Alphabet, error) {
+	// Stay well below the UTF-16 surrogate range so every rune survives a
+	// string round trip distinctly.
+	if n > 10000 {
+		return nil, fmt.Errorf("datagen: synthetic alphabet limited to 10000 symbols, got %d", n)
+	}
+	runes := make([]rune, 0, n)
+	for r := rune(33); len(runes) < n; r++ { // '!' onward; code points stay distinct
+		// '#' and '>' are line-structural in the text format (comment and
+		// header markers); a wrapped data line starting with either would
+		// not survive a Write/Read round trip.
+		if r == '#' || r == '>' {
+			continue
+		}
+		runes = append(runes, r)
+	}
+	return seq.NewAlphabet(string(runes))
+}

@@ -1,0 +1,370 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Clustering is a set of possibly overlapping clusters over N sequences,
+// identified by their database indices. Sequences in no cluster are
+// outliers/unclustered.
+type Clustering struct {
+	N       int
+	Members [][]int
+}
+
+// FromAssignments builds a (hard, non-overlapping) Clustering from an
+// assignment vector in which entry i is sequence i's cluster, or −1 for
+// unclustered.
+func FromAssignments(assign []int) Clustering {
+	k := 0
+	for _, a := range assign {
+		if a >= k {
+			k = a + 1
+		}
+	}
+	c := Clustering{N: len(assign), Members: make([][]int, k)}
+	for i, a := range assign {
+		if a >= 0 {
+			c.Members[a] = append(c.Members[a], i)
+		}
+	}
+	return c
+}
+
+// Assignments converts the clustering to a hard assignment vector, breaking
+// overlapping membership toward the smallest cluster index and marking
+// unclustered sequences −1.
+func (c Clustering) Assignments() []int {
+	out := make([]int, c.N)
+	for i := range out {
+		out[i] = -1
+	}
+	for k, members := range c.Members {
+		for _, i := range members {
+			if out[i] == -1 {
+				out[i] = k
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks all member indices are in range.
+func (c Clustering) Validate() error {
+	for k, members := range c.Members {
+		for _, i := range members {
+			if i < 0 || i >= c.N {
+				return fmt.Errorf("eval: cluster %d has out-of-range member %d (N=%d)", k, i, c.N)
+			}
+		}
+	}
+	return nil
+}
+
+// PR is the paper's per-family precision/recall (§6.1): F is the set of
+// sequences actually in the family, F' the set assigned to the family's
+// cluster; precision = |F∩F'|/|F'|, recall = |F∩F'|/|F|.
+type PR struct {
+	Label     string
+	TrueSize  int // |F|
+	Assigned  int // |F'|
+	Overlap   int // |F∩F'|
+	Precision float64
+	Recall    float64
+}
+
+// Report is the full quality summary for one clustering against
+// ground-truth labels.
+type Report struct {
+	// Accuracy is the Table 2 "percentage of correctly labeled" measure: a
+	// labeled sequence is correct when it is a member of the cluster
+	// matched (one-to-one, maximal total overlap) to its true family.
+	Accuracy float64
+	// PerLabel holds one PR per ground-truth family, sorted by label.
+	PerLabel []PR
+	// MacroPrecision/MacroRecall average the per-family values.
+	MacroPrecision float64
+	MacroRecall    float64
+	// ClusterLabel maps each cluster to its matched family ("" when the
+	// cluster matched no family).
+	ClusterLabel []string
+	// NumClusters counts non-empty clusters; Unclustered counts labeled
+	// sequences belonging to no cluster.
+	NumClusters int
+	Unclustered int
+}
+
+// Evaluate matches clusters to ground-truth families and computes the
+// report. labels[i] is sequence i's family; sequences with an empty label
+// (planted outliers) are excluded from all quality measures, matching the
+// paper's synthetic experiments where outliers are not part of any family.
+func Evaluate(c Clustering, labels []string) (Report, error) {
+	if len(labels) != c.N {
+		return Report{}, fmt.Errorf("eval: %d labels for %d sequences", len(labels), c.N)
+	}
+	if err := c.Validate(); err != nil {
+		return Report{}, err
+	}
+
+	// Distinct labels, sorted for deterministic output.
+	labelIdx := make(map[string]int)
+	var labelNames []string
+	for _, l := range labels {
+		if l == "" {
+			continue
+		}
+		if _, ok := labelIdx[l]; !ok {
+			labelIdx[l] = 0
+			labelNames = append(labelNames, l)
+		}
+	}
+	sort.Strings(labelNames)
+	for i, l := range labelNames {
+		labelIdx[l] = i
+	}
+	nLabels := len(labelNames)
+	trueSize := make([]int, nLabels)
+	for _, l := range labels {
+		if l != "" {
+			trueSize[labelIdx[l]]++
+		}
+	}
+
+	// Overlap matrix: clusters × labels, counting labeled members only.
+	overlap := make([][]float64, len(c.Members))
+	clusterLabeled := make([]int, len(c.Members))
+	for k, members := range c.Members {
+		overlap[k] = make([]float64, nLabels)
+		for _, i := range members {
+			if l := labels[i]; l != "" {
+				overlap[k][labelIdx[l]]++
+				clusterLabeled[k]++
+			}
+		}
+	}
+
+	rep := Report{ClusterLabel: make([]string, len(c.Members))}
+	for _, members := range c.Members {
+		if len(members) > 0 {
+			rep.NumClusters++
+		}
+	}
+
+	covered := make([]bool, c.N)
+	for _, members := range c.Members {
+		for _, i := range members {
+			covered[i] = true
+		}
+	}
+	labeledTotal := 0
+	for i, l := range labels {
+		if l == "" {
+			continue
+		}
+		labeledTotal++
+		if !covered[i] {
+			rep.Unclustered++
+		}
+	}
+
+	if nLabels == 0 || len(c.Members) == 0 {
+		return rep, nil
+	}
+
+	clusterOfLabel := make([]int, nLabels)
+	for i := range clusterOfLabel {
+		clusterOfLabel[i] = -1
+	}
+	match, err := MaxAssignment(overlap)
+	if err != nil {
+		return Report{}, err
+	}
+	for k, lab := range match {
+		if lab >= 0 && overlap[k][lab] > 0 {
+			clusterOfLabel[lab] = k
+			rep.ClusterLabel[k] = labelNames[lab]
+		}
+	}
+
+	correct := 0
+	for li, name := range labelNames {
+		pr := PR{Label: name, TrueSize: trueSize[li]}
+		if k := clusterOfLabel[li]; k >= 0 {
+			pr.Assigned = clusterLabeled[k]
+			pr.Overlap = int(overlap[k][li])
+			if pr.Assigned > 0 {
+				pr.Precision = float64(pr.Overlap) / float64(pr.Assigned)
+			}
+			if pr.TrueSize > 0 {
+				pr.Recall = float64(pr.Overlap) / float64(pr.TrueSize)
+			}
+			correct += pr.Overlap
+		}
+		rep.PerLabel = append(rep.PerLabel, pr)
+		rep.MacroPrecision += pr.Precision
+		rep.MacroRecall += pr.Recall
+	}
+	rep.MacroPrecision /= float64(nLabels)
+	rep.MacroRecall /= float64(nLabels)
+	if labeledTotal > 0 {
+		rep.Accuracy = float64(correct) / float64(labeledTotal)
+	}
+	return rep, nil
+}
+
+// F1 returns the harmonic mean of a PR's precision and recall.
+func (pr PR) F1() float64 {
+	if pr.Precision+pr.Recall == 0 {
+		return 0
+	}
+	return 2 * pr.Precision * pr.Recall / (pr.Precision + pr.Recall)
+}
+
+// Purity returns the weighted majority-label fraction of the clustering:
+// each cluster contributes its dominant label's share of its labeled
+// members, weighted by cluster size. Unlabeled sequences are ignored;
+// sequences in several clusters count once per cluster. 1.0 means every
+// cluster is single-family.
+func Purity(c Clustering, labels []string) (float64, error) {
+	if len(labels) != c.N {
+		return 0, fmt.Errorf("eval: %d labels for %d sequences", len(labels), c.N)
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	majority, total := 0, 0
+	for _, members := range c.Members {
+		counts := map[string]int{}
+		for _, m := range members {
+			if l := labels[m]; l != "" {
+				counts[l]++
+				total++
+			}
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		majority += best
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(majority) / float64(total), nil
+}
+
+// AdjustedRandIndex compares two hard assignment vectors (−1 entries are
+// treated as distinct singletons) with the chance-corrected Rand index:
+// 1 for identical partitions, ≈0 for independent ones.
+func AdjustedRandIndex(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: ARI length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return 1, nil
+	}
+	norm := func(v []int) []int {
+		out := make([]int, len(v))
+		next := 0
+		remap := make(map[int]int)
+		for i, x := range v {
+			if x < 0 {
+				out[i] = next // unique singleton
+				next++
+				continue
+			}
+			if id, ok := remap[x]; ok {
+				out[i] = id
+			} else {
+				remap[x] = next
+				out[i] = next
+				next++
+			}
+		}
+		return out
+	}
+	na, nb := norm(a), norm(b)
+	ka, kb := maxOf(na)+1, maxOf(nb)+1
+	cont := make([][]int, ka)
+	for i := range cont {
+		cont[i] = make([]int, kb)
+	}
+	rowSum := make([]int, ka)
+	colSum := make([]int, kb)
+	for i := 0; i < n; i++ {
+		cont[na[i]][nb[i]]++
+		rowSum[na[i]]++
+		colSum[nb[i]]++
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	sumIJ, sumA, sumB := 0.0, 0.0, 0.0
+	for i := range cont {
+		sumA += choose2(rowSum[i])
+		for j := range cont[i] {
+			sumIJ += choose2(cont[i][j])
+		}
+	}
+	for j := range colSum {
+		sumB += choose2(colSum[j])
+	}
+	expected := sumA * sumB / choose2(n)
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 1, nil // both partitions trivial (all singletons or one block)
+	}
+	return (sumIJ - expected) / (maxIdx - expected), nil
+}
+
+func maxOf(v []int) int {
+	m := -1
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ConfusionMatrix tabulates, for hard assignments, how many sequences of
+// each true label landed in each cluster. Row order follows sorted labels;
+// column k is cluster k; the final column counts unclustered sequences.
+func ConfusionMatrix(c Clustering, labels []string) (rows []string, matrix [][]int, err error) {
+	if len(labels) != c.N {
+		return nil, nil, fmt.Errorf("eval: %d labels for %d sequences", len(labels), c.N)
+	}
+	assign := c.Assignments()
+	set := map[string]bool{}
+	for _, l := range labels {
+		if l != "" {
+			set[l] = true
+		}
+	}
+	for l := range set {
+		rows = append(rows, l)
+	}
+	sort.Strings(rows)
+	idx := make(map[string]int, len(rows))
+	for i, l := range rows {
+		idx[l] = i
+	}
+	k := len(c.Members)
+	matrix = make([][]int, len(rows))
+	for i := range matrix {
+		matrix[i] = make([]int, k+1)
+	}
+	for i, l := range labels {
+		if l == "" {
+			continue
+		}
+		col := assign[i]
+		if col < 0 {
+			col = k
+		}
+		matrix[idx[l]][col]++
+	}
+	return rows, matrix, nil
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"cluseq/internal/baseline"
+	"cluseq/internal/datagen"
+	"cluseq/internal/distance"
+	"cluseq/internal/eval"
+	"cluseq/internal/seq"
+)
+
+// Table2 reproduces the paper's model comparison on the protein workload:
+// percentage of correctly labeled sequences and response time for CLUSEQ,
+// edit distance (ED), edit distance with block operations (EDBO), hidden
+// Markov models (HMM), and the q-gram approach.
+type Table2 struct {
+	Scale Scale
+	Rows  []Table2Row
+}
+
+// Table2Row is one model's outcome.
+type Table2Row struct {
+	Model    string
+	Accuracy float64
+	Elapsed  time.Duration
+}
+
+// Row returns the named model's row, or false.
+func (t *Table2) Row(model string) (Table2Row, bool) {
+	for _, r := range t.Rows {
+		if r.Model == model {
+			return r, true
+		}
+	}
+	return Table2Row{}, false
+}
+
+func (t *Table2) String() string { return render(t) }
+
+// RunTable2 executes the five models on the simulated protein database.
+func RunTable2(sc Scale, seed uint64) (*Table2, error) {
+	db, err := datagen.ProteinDB(proteinConfig(sc, seed))
+	if err != nil {
+		return nil, err
+	}
+	labels := labelsOf(db)
+	families := len(db.Labels())
+	out := &Table2{Scale: sc}
+	rng := rand.New(rand.NewPCG(seed, seed^0x7ab1e2))
+
+	// CLUSEQ — intentionally started, like the paper, with the wrong
+	// number of clusters (k=10, not 30) and a non-optimal initial t.
+	cfg := proteinCluseqConfig(sc, seed)
+	_, rep, elapsed, err := runCLUSEQ(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, Table2Row{"CLUSEQ", rep.Accuracy, elapsed})
+
+	timeAssign := func(model string, f func() ([]int, error)) error {
+		start := time.Now()
+		assign, err := f()
+		took := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("%s: %w", model, err)
+		}
+		r, err := eval.Evaluate(eval.FromAssignments(assign), labels)
+		if err != nil {
+			return fmt.Errorf("%s: %w", model, err)
+		}
+		out.Rows = append(out.Rows, Table2Row{model, r.Accuracy, took})
+		return nil
+	}
+
+	symbolsAt := func(i int) []seq.Symbol { return db.Sequences[i].Symbols }
+
+	// ED: k-medoids over normalized Levenshtein.
+	if err := timeAssign("ED", func() ([]int, error) {
+		d := baseline.DistanceMatrix(db.Len(), func(i, j int) float64 {
+			return distance.NormalizedLevenshtein(symbolsAt(i), symbolsAt(j))
+		}, 0)
+		return baseline.KMedoids(d, families, 25, rng)
+	}); err != nil {
+		return nil, err
+	}
+
+	// EDBO: k-medoids over the greedy block edit distance.
+	if err := timeAssign("EDBO", func() ([]int, error) {
+		d := baseline.DistanceMatrix(db.Len(), func(i, j int) float64 {
+			return distance.NormalizedBlockEditDistance(symbolsAt(i), symbolsAt(j), distance.BlockConfig{MinBlock: 4})
+		}, 0)
+		return baseline.KMedoids(d, families, 25, rng)
+	}); err != nil {
+		return nil, err
+	}
+
+	// HMM: likelihood mixture. The paper uses 30 states; smaller scales
+	// use fewer to keep Baum-Welch affordable.
+	states := 30
+	rounds, bwIters := 5, 8
+	switch sc {
+	case ScaleTiny:
+		states, rounds, bwIters = 10, 5, 6
+	case ScaleSmall:
+		states, rounds, bwIters = 14, 5, 7
+	}
+	if err := timeAssign("HMM", func() ([]int, error) {
+		return baseline.HMMClusters(db, families, states, rounds, bwIters, rng)
+	}); err != nil {
+		return nil, err
+	}
+
+	// q-gram: spherical k-means over q=3 profiles (the paper's q).
+	if err := timeAssign("q-gram", func() ([]int, error) {
+		return baseline.QGramKMeans(db, families, 3, 40, rng)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Table3 reproduces the per-family precision/recall table for the ten
+// families the paper names.
+type Table3 struct {
+	Scale Scale
+	Rows  []Table3Row
+}
+
+// Table3Row is one family's outcome.
+type Table3Row struct {
+	Family    string
+	Size      int
+	Precision float64
+	Recall    float64
+}
+
+func (t *Table3) String() string { return render(t) }
+
+// RunTable3 clusters the protein workload with CLUSEQ and reports the ten
+// named Table 3 families.
+func RunTable3(sc Scale, seed uint64) (*Table3, error) {
+	db, err := datagen.ProteinDB(proteinConfig(sc, seed))
+	if err != nil {
+		return nil, err
+	}
+	cfg := proteinCluseqConfig(sc, seed)
+	_, rep, _, err := runCLUSEQ(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	counts := db.LabelCounts()
+	named := datagen.PaperFamilyNames()[:10]
+	out := &Table3{Scale: sc}
+	for _, fam := range named {
+		for _, pr := range rep.PerLabel {
+			if pr.Label == fam {
+				out.Rows = append(out.Rows, Table3Row{
+					Family: fam, Size: counts[fam],
+					Precision: pr.Precision, Recall: pr.Recall,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table4 reproduces the language clustering experiment.
+type Table4 struct {
+	Scale Scale
+	Rows  []Table4Row
+}
+
+// Table4Row is one language's outcome.
+type Table4Row struct {
+	Language  string
+	Precision float64
+	Recall    float64
+}
+
+// Row returns the named language's row, or false.
+func (t *Table4) Row(lang string) (Table4Row, bool) {
+	for _, r := range t.Rows {
+		if r.Language == lang {
+			return r, true
+		}
+	}
+	return Table4Row{}, false
+}
+
+func (t *Table4) String() string { return render(t) }
+
+// RunTable4 clusters the simulated multilingual sentences with CLUSEQ.
+func RunTable4(sc Scale, seed uint64) (*Table4, error) {
+	db, err := datagen.LanguageDB(languageConfig(sc, seed))
+	if err != nil {
+		return nil, err
+	}
+	cfg := languageCluseqConfig(sc, seed)
+	_, rep, _, err := runCLUSEQ(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table4{Scale: sc}
+	for _, lang := range datagen.LanguageNames {
+		for _, pr := range rep.PerLabel {
+			if pr.Label == lang {
+				out.Rows = append(out.Rows, Table4Row{lang, pr.Precision, pr.Recall})
+			}
+		}
+	}
+	return out, nil
+}

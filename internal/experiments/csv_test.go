@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	res := &Table2{
+		Scale: ScaleTiny,
+		Rows: []Table2Row{
+			{Model: "CLUSEQ", Accuracy: 0.825, Elapsed: 1500 * time.Millisecond},
+			{Model: "ED", Accuracy: 0.23, Elapsed: 4 * time.Second},
+		},
+	}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d CSV lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "model,correctly_labeled,response_time" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "CLUSEQ,82.5%,1.50s" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestStringMatchesTable(t *testing.T) {
+	// String() must render exactly the Table() contents for every type —
+	// spot check one; all route through render().
+	res := &Figure6{
+		Scale: ScaleTiny,
+		Axis:  "sequences",
+		Rows:  []Figure6Row{{X: 100, Elapsed: time.Second, Accuracy: 0.9}},
+	}
+	s := res.String()
+	for _, want := range []string{"sequences", "100", "1.00s", "90.0%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

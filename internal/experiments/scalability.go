@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cluseq/internal/datagen"
+)
+
+// Figure6 reproduces §6.4: response time as a function of one workload
+// axis (number of clusters, number of sequences, average length, alphabet
+// size) with everything else held constant. The paper's shapes: linear in
+// clusters and sequences, mildly super-linear in length, flat in alphabet
+// size.
+type Figure6 struct {
+	Scale Scale
+	Axis  string // "clusters" | "sequences" | "length" | "alphabet"
+	Rows  []Figure6Row
+}
+
+// Figure6Row is one sweep point.
+type Figure6Row struct {
+	X        int
+	Elapsed  time.Duration
+	Accuracy float64
+}
+
+func (f *Figure6) String() string { return render(f) }
+
+// figure6Sweep returns the per-axis sweep values.
+func figure6Sweep(sc Scale, axis string) []int {
+	paper := map[string][]int{
+		"clusters":  {10, 20, 50, 100},
+		"sequences": {10000, 20000, 50000, 100000, 200000},
+		"length":    {100, 200, 500, 1000, 2000},
+		"alphabet":  {20, 50, 100, 200, 400},
+	}
+	small := map[string][]int{
+		"clusters":  {4, 8, 12, 20},
+		"sequences": {250, 500, 1000, 2000},
+		"length":    {50, 100, 200, 400},
+		"alphabet":  {10, 20, 50, 100},
+	}
+	tiny := map[string][]int{
+		"clusters":  {2, 4, 8},
+		"sequences": {100, 200, 400},
+		"length":    {50, 100, 200},
+		"alphabet":  {10, 20, 50},
+	}
+	switch sc {
+	case ScaleTiny:
+		return tiny[axis]
+	case ScaleSmall:
+		return small[axis]
+	default:
+		return paper[axis]
+	}
+}
+
+// RunFigure6 sweeps the named axis. Valid axes: clusters, sequences,
+// length, alphabet.
+func RunFigure6(sc Scale, axis string, seed uint64) (*Figure6, error) {
+	sweep := figure6Sweep(sc, axis)
+	if sweep == nil {
+		return nil, fmt.Errorf("experiments: unknown Figure 6 axis %q", axis)
+	}
+	out := &Figure6{Scale: sc, Axis: axis}
+	for _, x := range sweep {
+		scfg := syntheticConfig(sc, seed)
+		switch axis {
+		case "clusters":
+			scfg.NumClusters = x
+		case "sequences":
+			scfg.NumSequences = x
+		case "length":
+			scfg.AvgLength = x
+		case "alphabet":
+			scfg.AlphabetSize = x
+		}
+		db, err := datagen.SyntheticDB(scfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg := cluseqConfig(sc, seed)
+		_, rep, elapsed, err := runCLUSEQ(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Figure6Row{X: x, Elapsed: elapsed, Accuracy: rep.Accuracy})
+	}
+	return out, nil
+}
+
+// Figure6Axes lists the four §6.4 sweep axes in paper order.
+var Figure6Axes = []string{"clusters", "sequences", "length", "alphabet"}

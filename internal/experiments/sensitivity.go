@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cluseq/internal/core"
+	"cluseq/internal/datagen"
+)
+
+// Figure4 reproduces §6.2: clustering quality and response time as a
+// function of the per-cluster PST memory budget.
+type Figure4 struct {
+	Scale Scale
+	Rows  []Figure4Row
+}
+
+// Figure4Row is one memory budget's outcome.
+type Figure4Row struct {
+	MaxPSTBytes int // 0 = unlimited
+	Precision   float64
+	Recall      float64
+	Elapsed     time.Duration
+}
+
+func (f *Figure4) String() string { return render(f) }
+
+// figure4Budgets lists the per-scale sweep. The paper sweeps to 5MB+ on
+// trees fed by thousands of 1000-symbol sequences; smaller workloads
+// saturate at proportionally smaller budgets.
+func figure4Budgets(sc Scale) []int {
+	switch sc {
+	case ScaleTiny:
+		return []int{16 << 10, 48 << 10, 128 << 10, 0}
+	case ScaleSmall:
+		return []int{32 << 10, 128 << 10, 512 << 10, 2 << 20, 0}
+	default:
+		return []int{1 << 20, 2 << 20, 5 << 20, 10 << 20, 0}
+	}
+}
+
+// RunFigure4 sweeps the PST memory cap over the synthetic workload.
+func RunFigure4(sc Scale, seed uint64) (*Figure4, error) {
+	db, err := datagen.SyntheticDB(syntheticConfig(sc, seed))
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure4{Scale: sc}
+	for _, budget := range figure4Budgets(sc) {
+		cfg := cluseqConfig(sc, seed)
+		cfg.MaxPSTBytes = budget
+		_, rep, elapsed, err := runCLUSEQ(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Figure4Row{budget, rep.MacroPrecision, rep.MacroRecall, elapsed})
+	}
+	return out, nil
+}
+
+// Figure5 reproduces §6.3's initial-sample-size study: quality and
+// response time as a function of the seed sampling factor (m = factor·k).
+type Figure5 struct {
+	Scale Scale
+	Rows  []Figure5Row
+}
+
+// Figure5Row is one sampling factor's outcome.
+type Figure5Row struct {
+	SampleFactor int
+	Precision    float64
+	Recall       float64
+	Elapsed      time.Duration
+}
+
+func (f *Figure5) String() string { return render(f) }
+
+// RunFigure5 sweeps the sampling factor (the paper tries m up to well
+// beyond 5k and recommends 5).
+func RunFigure5(sc Scale, seed uint64) (*Figure5, error) {
+	db, err := datagen.SyntheticDB(syntheticConfig(sc, seed))
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure5{Scale: sc}
+	for _, factor := range []int{1, 2, 3, 5, 8} {
+		cfg := cluseqConfig(sc, seed)
+		cfg.SampleFactor = factor
+		_, rep, elapsed, err := runCLUSEQ(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Figure5Row{factor, rep.MacroPrecision, rep.MacroRecall, elapsed})
+	}
+	return out, nil
+}
+
+// Table5 reproduces the initial-cluster-count sensitivity study: CLUSEQ
+// must converge to the planted number of clusters regardless of k.
+type Table5 struct {
+	Scale        Scale
+	TrueClusters int
+	Rows         []Table5Row
+}
+
+// Table5Row is one initial k's outcome.
+type Table5Row struct {
+	InitialK  int
+	FinalK    int
+	Elapsed   time.Duration
+	Precision float64
+	Recall    float64
+}
+
+func (t *Table5) String() string { return render(t) }
+
+// table5Ks returns the initial-k sweep per scale (the paper sweeps
+// {1, 20, 100, 200} against 100 true clusters — from two orders of
+// magnitude below to 2× above).
+func table5Ks(sc Scale, trueK int) []int {
+	switch sc {
+	case ScalePaper:
+		return []int{1, 20, 100, 200}
+	default:
+		return []int{1, trueK / 2, trueK, 2 * trueK}
+	}
+}
+
+// RunTable5 sweeps the initial number of clusters.
+func RunTable5(sc Scale, seed uint64) (*Table5, error) {
+	scfg := syntheticConfig(sc, seed)
+	scfg.OutlierFrac = 0.10 // the paper uses 10% here
+	if sc == ScalePaper {
+		scfg.NumClusters = 100
+	}
+	db, err := datagen.SyntheticDB(scfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table5{Scale: sc, TrueClusters: scfg.NumClusters}
+	for _, k := range table5Ks(sc, scfg.NumClusters) {
+		cfg := cluseqConfig(sc, seed)
+		cfg.InitialClusters = k
+		res, rep, elapsed, err := runCLUSEQ(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table5Row{
+			InitialK: k, FinalK: res.NumClusters(), Elapsed: elapsed,
+			Precision: rep.MacroPrecision, Recall: rep.MacroRecall,
+		})
+	}
+	return out, nil
+}
+
+// Table6 reproduces the initial-similarity-threshold sensitivity study:
+// the final t must converge to the data's own separation level.
+type Table6 struct {
+	Scale Scale
+	Rows  []Table6Row
+}
+
+// Table6Row is one initial threshold's outcome.
+type Table6Row struct {
+	InitialT  float64
+	FinalT    float64
+	Elapsed   time.Duration
+	Precision float64
+	Recall    float64
+}
+
+func (t *Table6) String() string { return render(t) }
+
+// RunTable6 sweeps the initial threshold. The paper's sweep {1.05, 1.5,
+// 2, 3} is kept; under per-symbol normalization the data's own threshold
+// is lower, so the sweep exercises convergence from both sides.
+func RunTable6(sc Scale, seed uint64) (*Table6, error) {
+	scfg := syntheticConfig(sc, seed)
+	scfg.OutlierFrac = 0.10
+	db, err := datagen.SyntheticDB(scfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table6{Scale: sc}
+	for _, t0 := range []float64{1.05, 1.5, 2, 3} {
+		cfg := cluseqConfig(sc, seed)
+		cfg.SimilarityThreshold = t0
+		cfg.InitialClusters = scfg.NumClusters
+		res, rep, elapsed, err := runCLUSEQ(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table6Row{
+			InitialT: t0, FinalT: res.FinalThreshold, Elapsed: elapsed,
+			Precision: rep.MacroPrecision, Recall: rep.MacroRecall,
+		})
+	}
+	return out, nil
+}
+
+// OutlierStudy reproduces the §6.1 robustness claim: "the percentage of
+// outliers varies from 1% to 20%. We find that the accuracy of CLUSEQ is
+// immune to the increase of outliers."
+type OutlierStudy struct {
+	Scale Scale
+	Rows  []OutlierRow
+}
+
+// OutlierRow is one outlier-fraction's outcome.
+type OutlierRow struct {
+	OutlierFrac float64
+	Accuracy    float64
+	// OutliersRejected is the fraction of planted outliers left
+	// unclustered.
+	OutliersRejected float64
+	Elapsed          time.Duration
+}
+
+func (o *OutlierStudy) String() string { return render(o) }
+
+// Table returns the outlier study contents.
+func (o *OutlierStudy) Table() (string, []string, [][]string) {
+	rows := make([][]string, len(o.Rows))
+	for i, r := range o.Rows {
+		rows[i] = []string{pct(r.OutlierFrac), pct(r.Accuracy), pct(r.OutliersRejected), secs(r.Elapsed)}
+	}
+	return fmt.Sprintf("Outlier study (§6.1): robustness to outliers (scale=%s)", o.Scale),
+		[]string{"outlier_frac", "accuracy", "outliers_rejected", "response_time"}, rows
+}
+
+// RunOutlierStudy sweeps the planted outlier fraction over the paper's
+// 1–20% range.
+func RunOutlierStudy(sc Scale, seed uint64) (*OutlierStudy, error) {
+	out := &OutlierStudy{Scale: sc}
+	for _, frac := range []float64{0.01, 0.05, 0.10, 0.20} {
+		scfg := syntheticConfig(sc, seed)
+		scfg.OutlierFrac = frac
+		db, err := datagen.SyntheticDB(scfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg := cluseqConfig(sc, seed)
+		res, rep, elapsed, err := runCLUSEQ(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		planted, rejected := 0, 0
+		inCluster := map[int]bool{}
+		for _, c := range res.Clusters {
+			for _, m := range c.Members {
+				inCluster[m] = true
+			}
+		}
+		for i, s := range db.Sequences {
+			if s.Label == "" {
+				planted++
+				if !inCluster[i] {
+					rejected++
+				}
+			}
+		}
+		row := OutlierRow{OutlierFrac: frac, Accuracy: rep.Accuracy, Elapsed: elapsed}
+		if planted > 0 {
+			row.OutliersRejected = float64(rejected) / float64(planted)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// OrderStudy reproduces the §6.3 processing-order comparison.
+type OrderStudy struct {
+	Scale Scale
+	Rows  []OrderRow
+}
+
+// OrderRow is one strategy's outcome.
+type OrderRow struct {
+	Order    string
+	Accuracy float64
+	Elapsed  time.Duration
+}
+
+// Row returns the named order's row, or false.
+func (o *OrderStudy) Row(name string) (OrderRow, bool) {
+	for _, r := range o.Rows {
+		if r.Order == name {
+			return r, true
+		}
+	}
+	return OrderRow{}, false
+}
+
+func (o *OrderStudy) String() string { return render(o) }
+
+// RunOrderStudy compares fixed, random, and cluster-based processing
+// orders (the paper reports 82%, 83%, and 65%).
+func RunOrderStudy(sc Scale, seed uint64) (*OrderStudy, error) {
+	db, err := datagen.SyntheticDB(syntheticConfig(sc, seed))
+	if err != nil {
+		return nil, err
+	}
+	out := &OrderStudy{Scale: sc}
+	for _, o := range []struct {
+		name  string
+		order core.OrderStrategy
+	}{
+		{"fixed", core.OrderFixed},
+		{"random", core.OrderRandom},
+		{"cluster-based", core.OrderClusterBased},
+	} {
+		cfg := cluseqConfig(sc, seed)
+		cfg.Order = o.order
+		_, rep, elapsed, err := runCLUSEQ(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, OrderRow{o.name, rep.Accuracy, elapsed})
+	}
+	return out, nil
+}

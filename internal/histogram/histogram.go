@@ -1,0 +1,212 @@
+// Package histogram implements the similarity-distribution histogram and
+// the valley-detection heuristic of paper §4.6, used by CLUSEQ to adjust
+// the similarity threshold t automatically.
+//
+// The histogram collects the similarity of every sequence-cluster
+// combination observed during one clustering iteration. The "valley" is the
+// bucket at which the histogram curve makes its sharpest turn, measured as
+// the largest absolute difference between the least-squares slopes of the
+// left-hand and right-hand portions of the curve.
+package histogram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bucket histogram over a floating-point domain.
+// Values outside [Lo, Hi) are clamped into the first or last bucket, so no
+// observation is ever lost; the caller decides the domain.
+type Histogram struct {
+	lo, hi  float64
+	buckets []float64
+	n       int // total observations
+}
+
+// New returns a histogram with the given number of buckets over [lo, hi).
+func New(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets < 3 {
+		return nil, fmt.Errorf("histogram: need at least 3 buckets, got %d", buckets)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("histogram: invalid domain [%v, %v)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]float64, buckets)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.buckets[h.bucketOf(v)]++
+	h.n++
+}
+
+// AddWeighted records an observation with the given weight.
+func (h *Histogram) AddWeighted(v, w float64) {
+	h.buckets[h.bucketOf(v)] += w
+	h.n++
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	if math.IsNaN(v) || v < h.lo {
+		return 0
+	}
+	if v >= h.hi {
+		return len(h.buckets) - 1
+	}
+	i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	return i
+}
+
+// Count returns the total number of observations recorded.
+func (h *Histogram) Count() int { return h.n }
+
+// Buckets returns a copy of the bucket weights.
+func (h *Histogram) Buckets() []float64 { return append([]float64(nil), h.buckets...) }
+
+// Center returns the median value of bucket i's similarity range — the x_i
+// of the paper's (x_i, y_i) representation.
+func (h *Histogram) Center(i int) float64 {
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	return h.lo + (float64(i)+0.5)*width
+}
+
+// Valley locates the similarity value at which the histogram curve makes
+// its sharpest turn: the bucket center x_i maximizing |b_l(i) − b_r(i)|
+// where b_l is the regression slope over buckets [0, i] and b_r the slope
+// over buckets [i, n−1] (paper §4.6). Interior buckets only are candidates
+// (i in [1, n−2]), matching the paper's i = 2..n−1 in 1-based indexing.
+//
+// The boolean result is false when the histogram holds no observations, in
+// which case the caller should leave its threshold unchanged.
+func (h *Histogram) Valley() (float64, bool) {
+	if h.n == 0 {
+		return 0, false
+	}
+	n := len(h.buckets)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = h.Center(i)
+	}
+	// Prefix sums let each regression slope be computed in O(1), keeping
+	// the whole valley search linear in the number of buckets as the paper
+	// claims.
+	ys := h.buckets
+	px := make([]float64, n+1)  // Σ x_j, j < i
+	py := make([]float64, n+1)  // Σ y_j
+	pxy := make([]float64, n+1) // Σ x_j y_j
+	pxx := make([]float64, n+1) // Σ x_j²
+	for i := 0; i < n; i++ {
+		px[i+1] = px[i] + xs[i]
+		py[i+1] = py[i] + ys[i]
+		pxy[i+1] = pxy[i] + xs[i]*ys[i]
+		pxx[i+1] = pxx[i] + xs[i]*xs[i]
+	}
+	slope := func(lo, hi int) float64 { // over buckets [lo, hi)
+		m := float64(hi - lo)
+		if m < 2 {
+			return 0
+		}
+		sx := px[hi] - px[lo]
+		sy := py[hi] - py[lo]
+		sxy := pxy[hi] - pxy[lo]
+		sxx := pxx[hi] - pxx[lo]
+		denom := sxx - sx*sx/m
+		if denom == 0 {
+			return 0
+		}
+		return (sxy - sx*sy/m) / denom
+	}
+	bestDiff := math.Inf(-1)
+	bestX := xs[1]
+	for i := 1; i < n-1; i++ {
+		bl := slope(0, i+1)
+		br := slope(i, n)
+		if d := math.Abs(bl - br); d > bestDiff {
+			bestDiff = d
+			bestX = xs[i]
+		}
+	}
+	return bestX, true
+}
+
+// OtsuThreshold returns the bucket-center value that best splits the
+// histogram into two classes, by maximizing the between-class variance
+// (Otsu's method). It estimates the same quantity as Valley — the boundary
+// between the low-similarity background mode and the high-similarity
+// member mode — but remains robust when the background mode has a long
+// soft tail, where the regression-slope turn detector locks onto the edge
+// of the dominant mode instead of the gap. CLUSEQ's threshold adjustment
+// uses this estimator; Valley implements the paper's formulation.
+//
+// The boolean result is false when the histogram holds no observations.
+func (h *Histogram) OtsuThreshold() (float64, bool) {
+	if h.n == 0 {
+		return 0, false
+	}
+	n := len(h.buckets)
+	total := 0.0
+	totalMean := 0.0
+	for i, w := range h.buckets {
+		total += w
+		totalMean += w * h.Center(i)
+	}
+	if total == 0 {
+		return 0, false
+	}
+	totalMean /= total
+
+	bestVar := -1.0
+	bestX := h.Center(0)
+	w0, sum0 := 0.0, 0.0
+	for i := 0; i < n-1; i++ {
+		w0 += h.buckets[i]
+		sum0 += h.buckets[i] * h.Center(i)
+		w1 := total - w0
+		if w0 == 0 || w1 == 0 {
+			continue
+		}
+		mu0 := sum0 / w0
+		mu1 := (totalMean*total - sum0) / w1
+		between := w0 * w1 * (mu0 - mu1) * (mu0 - mu1)
+		if between > bestVar {
+			bestVar = between
+			// The split sits between bucket i and i+1.
+			bestX = (h.Center(i) + h.Center(i+1)) / 2
+		}
+	}
+	if bestVar < 0 {
+		// Degenerate: all mass sits in a single bucket, so every candidate
+		// split leaves one side empty. Report that bucket's center.
+		for i, w := range h.buckets {
+			if w > 0 {
+				return h.Center(i), true
+			}
+		}
+		return 0, false
+	}
+	return bestX, true
+}
+
+// String renders a compact textual sketch of the histogram, useful in logs.
+func (h *Histogram) String() string {
+	const bars = "▁▂▃▄▅▆▇█"
+	max := 0.0
+	for _, b := range h.buckets {
+		if b > max {
+			max = b
+		}
+	}
+	out := make([]rune, len(h.buckets))
+	for i, b := range h.buckets {
+		if max == 0 {
+			out[i] = '▁'
+			continue
+		}
+		level := int(b / max * float64(len([]rune(bars))-1))
+		out[i] = []rune(bars)[level]
+	}
+	return fmt.Sprintf("[%g,%g) n=%d %s", h.lo, h.hi, h.n, string(out))
+}

@@ -1,0 +1,263 @@
+package histogram
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cluseq/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 2); err == nil {
+		t.Error("New should reject <3 buckets")
+	}
+	if _, err := New(1, 1, 10); err == nil {
+		t.Error("New should reject lo == hi")
+	}
+	if _, err := New(2, 1, 10); err == nil {
+		t.Error("New should reject lo > hi")
+	}
+	if _, err := New(0, 1, 3); err != nil {
+		t.Errorf("New(0,1,3): %v", err)
+	}
+}
+
+func TestAddAndBuckets(t *testing.T) {
+	h, _ := New(0, 10, 10)
+	for _, v := range []float64{0, 0.5, 9.99, 5} {
+		h.Add(v)
+	}
+	b := h.Buckets()
+	if b[0] != 2 || b[9] != 1 || b[5] != 1 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+}
+
+func TestAddClampsOutOfRange(t *testing.T) {
+	h, _ := New(0, 1, 4)
+	h.Add(-5)
+	h.Add(99)
+	h.Add(math.NaN())
+	b := h.Buckets()
+	if b[0] != 2 { // -5 and NaN clamp low
+		t.Fatalf("low bucket = %v, want 2", b[0])
+	}
+	if b[3] != 1 {
+		t.Fatalf("high bucket = %v, want 1", b[3])
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3 (no observation may be lost)", h.Count())
+	}
+}
+
+func TestAddWeighted(t *testing.T) {
+	h, _ := New(0, 1, 4)
+	h.AddWeighted(0.1, 2.5)
+	if got := h.Buckets()[0]; got != 2.5 {
+		t.Fatalf("weighted bucket = %v, want 2.5", got)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	h, _ := New(0, 10, 10)
+	if got := h.Center(0); got != 0.5 {
+		t.Fatalf("Center(0) = %v, want 0.5", got)
+	}
+	if got := h.Center(9); got != 9.5 {
+		t.Fatalf("Center(9) = %v, want 9.5", got)
+	}
+}
+
+// TestValleyVShape: a clean V shape (steep decline, then gentle rise) must
+// put the valley at the turning point.
+func TestValleyVShape(t *testing.T) {
+	h, _ := New(0, 30, 30)
+	// Steep decline over buckets 0..9, flat low region 10..19, gentle rise
+	// 20..29. The sharpest turn is at the end of the decline.
+	for i := 0; i < 30; i++ {
+		var y float64
+		switch {
+		case i < 10:
+			y = float64(1000 - 100*i)
+		case i < 20:
+			y = 10
+		default:
+			y = float64(10 + 2*(i-20))
+		}
+		h.AddWeighted(h.Center(i), y)
+	}
+	v, ok := h.Valley()
+	if !ok {
+		t.Fatal("Valley not found")
+	}
+	// The valley must fall after the decline and within the flat region.
+	if v < 8 || v > 20 {
+		t.Fatalf("valley at %v, want within [8, 20]", v)
+	}
+}
+
+// TestValleyMatchesPaperDefinition cross-checks the O(1)-per-point
+// prefix-sum slopes against the straightforward stats.RegressionSlope
+// implementation of the paper's formulas.
+func TestValleyMatchesPaperDefinition(t *testing.T) {
+	h, _ := New(0, 1, 24)
+	// Irregular but deterministic content.
+	for i := 0; i < 24; i++ {
+		h.AddWeighted(h.Center(i), float64((i*7919)%97)+1)
+	}
+	n := 24
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = h.Center(i)
+	}
+	ys := h.Buckets()
+	bestDiff := math.Inf(-1)
+	bestX := 0.0
+	for i := 1; i < n-1; i++ {
+		bl := stats.RegressionSlope(xs[:i+1], ys[:i+1])
+		br := stats.RegressionSlope(xs[i:], ys[i:])
+		if d := math.Abs(bl - br); d > bestDiff {
+			bestDiff = d
+			bestX = xs[i]
+		}
+	}
+	got, ok := h.Valley()
+	if !ok {
+		t.Fatal("Valley not found")
+	}
+	if math.Abs(got-bestX) > 1e-9 {
+		t.Fatalf("Valley = %v, reference implementation says %v", got, bestX)
+	}
+}
+
+func TestValleyEmpty(t *testing.T) {
+	h, _ := New(0, 1, 5)
+	if _, ok := h.Valley(); ok {
+		t.Fatal("empty histogram must report no valley")
+	}
+}
+
+func TestValleyWithinDomain(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, _ := New(0, 1, 12)
+		any := false
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Add(math.Mod(math.Abs(v), 1))
+			any = true
+		}
+		v, ok := h.Valley()
+		if !any {
+			return !ok
+		}
+		return ok && v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOtsuThresholdBimodal(t *testing.T) {
+	h, _ := New(0, 10, 50)
+	// Heavy mode near 1, light mode near 8, gap between.
+	for i := 0; i < 900; i++ {
+		h.Add(0.5 + float64(i%10)*0.1)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(7.5 + float64(i%10)*0.1)
+	}
+	split, ok := h.OtsuThreshold()
+	if !ok {
+		t.Fatal("no Otsu threshold on bimodal data")
+	}
+	// The heavy mode ends at 1.4 (bucket center 1.5) and the light mode
+	// starts at 7.5; the split must clear the heavy mass, within one
+	// bucket of slack.
+	if split < 1.35 || split > 7.4 {
+		t.Fatalf("Otsu split = %v, want within the gap [1.35, 7.4]", split)
+	}
+}
+
+func TestOtsuThresholdSoftTail(t *testing.T) {
+	// A dominant mode with a long soft tail plus a small distant mode:
+	// the regression valley locks onto the main cliff; Otsu must stay
+	// between the modes. This is the regime CLUSEQ's threshold adjustment
+	// sees in practice.
+	h, _ := New(0, 10, 100)
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.05 // tail reaching 5
+		h.AddWeighted(x, 1000*math.Exp(-x*2))
+	}
+	for i := 0; i < 10; i++ {
+		h.AddWeighted(8+0.1*float64(i), 30)
+	}
+	split, ok := h.OtsuThreshold()
+	if !ok {
+		t.Fatal("no Otsu threshold")
+	}
+	if split < 2 || split > 8 {
+		t.Fatalf("Otsu split = %v, want inside (2, 8)", split)
+	}
+}
+
+func TestOtsuThresholdEmpty(t *testing.T) {
+	h, _ := New(0, 1, 5)
+	if _, ok := h.OtsuThreshold(); ok {
+		t.Fatal("empty histogram must report no Otsu threshold")
+	}
+}
+
+func TestOtsuThresholdSingleMode(t *testing.T) {
+	h, _ := New(0, 1, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(0.45)
+	}
+	split, ok := h.OtsuThreshold()
+	if !ok {
+		t.Fatal("single-mode histogram should still split")
+	}
+	if split < 0 || split > 1 {
+		t.Fatalf("split %v outside domain", split)
+	}
+}
+
+func TestOtsuWithinDomain(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, _ := New(0, 1, 16)
+		any := false
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Add(math.Mod(math.Abs(v), 1))
+			any = true
+		}
+		split, ok := h.OtsuThreshold()
+		if !any {
+			return !ok
+		}
+		return ok && split >= 0 && split <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	h, _ := New(0, 1, 8)
+	h.Add(0.99)
+	s := h.String()
+	if !strings.Contains(s, "n=1") {
+		t.Fatalf("String = %q, want n=1 marker", s)
+	}
+	// Must not panic on the empty histogram either.
+	h2, _ := New(0, 1, 8)
+	_ = h2.String()
+}

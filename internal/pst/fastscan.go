@@ -1,0 +1,129 @@
+package pst
+
+import (
+	"math"
+
+	"cluseq/internal/seq"
+)
+
+// Auxiliary links (§4.3: "With the help of some additional structure
+// (e.g., auxiliary links), the computational complexity could be reduced
+// to O(l)"). Each node carries
+//
+//   - slink: the node whose context is this node's context minus its most
+//     recent symbol (path minus first edge), and
+//   - ext[s]: the inverse (Weiner link) — the node whose context is this
+//     node's context with s appended as the new most recent symbol.
+//
+// During the similarity scan, the deepest tree node matching the current
+// context is then maintained in amortized O(1) per symbol: extend through
+// ext[s] where possible, otherwise climb parents (each climb shortens the
+// tracked context, and the context grows by at most one per symbol, so
+// total climbing is O(l)).
+//
+// Links are maintained on insertion. Pruning and deserialization
+// invalidate them (linksValid=false), in which case SimilarityFast falls
+// back to the plain O(l·L) scan.
+
+// attachLinks wires the auxiliary links of a freshly created child c of n
+// reached via edge symbol s.
+func (t *Tree) attachLinks(c, n *Node, s seq.Symbol) {
+	if n == t.root {
+		c.first = s
+		c.slink = t.root
+	} else {
+		c.first = n.first
+		c.slink = t.child(n.slink, s, false)
+		if c.slink == nil {
+			// Cannot happen for left-to-right insertions, but hand-wired
+			// trees may create nodes out of order; degrade gracefully.
+			t.linksValid = false
+			return
+		}
+	}
+	if c.slink.ext == nil {
+		c.slink.ext = make(map[seq.Symbol]*Node, 1)
+	}
+	c.slink.ext[c.first] = c
+}
+
+// dropLinks unregisters a node that is about to be pruned.
+func (t *Tree) dropLinks(n *Node) {
+	t.linksValid = false // conservatively disable the fast scan
+	if n.slink != nil && n.slink.ext != nil {
+		delete(n.slink.ext, n.first)
+	}
+	for _, y := range n.ext {
+		y.slink = nil
+	}
+	n.ext = nil
+	n.slink = nil
+}
+
+// SimilarityFast computes the same result as Similarity using the
+// auxiliary links. When the links are unavailable (pruned or deserialized
+// trees) or the estimator is not the plain longest-significant-suffix one,
+// it transparently falls back to Similarity.
+func (t *Tree) SimilarityFast(symbols []seq.Symbol, background []float64) Similarity {
+	if !t.linksValid || t.cfg.Shrinkage > 0 {
+		return t.Similarity(symbols, background)
+	}
+	if len(background) != t.cfg.AlphabetSize {
+		// Keep the contract identical to Similarity.
+		return t.Similarity(symbols, background)
+	}
+	if len(symbols) == 0 {
+		return Similarity{LogSim: math.Inf(-1)}
+	}
+	logBg := t.logBackground(background)
+
+	best := Similarity{LogSim: math.Inf(-1)}
+	logY := math.Inf(-1)
+	yStart := 0
+
+	cur := t.root // deepest node matching the current context suffix
+	for i, sym := range symbols {
+		// Prediction node: deepest significant ancestor-or-self of cur.
+		pn := cur
+		for pn != t.root && !t.Significant(pn) {
+			pn = pn.parent
+		}
+		p := t.adjust(t.prob(pn, sym))
+		var logX float64
+		if p <= 0 {
+			logX = math.Inf(-1)
+		} else {
+			logX = math.Log(p) - logBg[sym]
+		}
+		if logY+logX >= logX {
+			logY += logX
+		} else {
+			logY = logX
+			yStart = i
+		}
+		if logY > best.LogSim {
+			best.LogSim = logY
+			best.Start = yStart
+			best.End = i + 1
+		}
+
+		// Advance the tracked context: sym becomes the most recent symbol.
+		u := cur
+		for {
+			if x := u.ext[sym]; x != nil {
+				cur = x
+				break
+			}
+			if u.parent == nil { // root
+				if c := t.child(t.root, sym, false); c != nil {
+					cur = c
+				} else {
+					cur = t.root
+				}
+				break
+			}
+			u = u.parent
+		}
+	}
+	return best
+}

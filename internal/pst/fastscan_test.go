@@ -1,0 +1,150 @@
+package pst
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSimilarityFastMatchesSlow is the defining property: the auxiliary-
+// link scan must return exactly the plain scan's result on arbitrary
+// trees and probes.
+func TestSimilarityFastMatchesSlow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 60; trial++ {
+		alpha := 2 + rng.IntN(6)
+		tree := MustNew(Config{
+			AlphabetSize: alpha,
+			MaxDepth:     1 + rng.IntN(6),
+			Significance: 1 + rng.IntN(6),
+			PMin:         0.01,
+		})
+		for k := 0; k < 1+rng.IntN(4); k++ {
+			tree.Insert(randomSymbols(rng, 20+rng.IntN(150), alpha))
+		}
+		bg := make([]float64, alpha)
+		for i := range bg {
+			bg[i] = 1 / float64(alpha)
+		}
+		for probe := 0; probe < 5; probe++ {
+			syms := randomSymbols(rng, 1+rng.IntN(80), alpha)
+			slow := tree.Similarity(syms, bg)
+			fast := tree.SimilarityFast(syms, bg)
+			if math.Abs(slow.LogSim-fast.LogSim) > 1e-12 ||
+				slow.Start != fast.Start || slow.End != fast.End {
+				t.Fatalf("trial %d: fast %+v != slow %+v (probe %v)", trial, fast, slow, syms)
+			}
+		}
+	}
+}
+
+func TestSimilarityFastNoSmoothing(t *testing.T) {
+	// With PMin zero, -Inf contributions must behave identically.
+	rng := rand.New(rand.NewPCG(33, 34))
+	tree := MustNew(Config{AlphabetSize: 3, MaxDepth: 4, Significance: 1})
+	tree.Insert(randomSymbols(rng, 50, 2)) // symbol 2 never seen
+	bg := []float64{0.4, 0.4, 0.2}
+	probe := randomSymbols(rng, 30, 3)
+	slow := tree.Similarity(probe, bg)
+	fast := tree.SimilarityFast(probe, bg)
+	if slow.LogSim != fast.LogSim || slow.Start != fast.Start || slow.End != fast.End {
+		t.Fatalf("fast %+v != slow %+v", fast, slow)
+	}
+}
+
+func TestSimilarityFastFallsBackAfterPruning(t *testing.T) {
+	rng := rand.New(rand.NewPCG(35, 36))
+	tree := MustNew(Config{AlphabetSize: 4, MaxDepth: 5, Significance: 2})
+	tree.Insert(randomSymbols(rng, 400, 4))
+	tree.Prune(tree.NumNodes() / 2)
+	if tree.linksValid {
+		t.Fatal("pruning must invalidate the auxiliary links")
+	}
+	bg := []float64{0.25, 0.25, 0.25, 0.25}
+	probe := randomSymbols(rng, 60, 4)
+	slow := tree.Similarity(probe, bg)
+	fast := tree.SimilarityFast(probe, bg) // must silently fall back
+	if slow.LogSim != fast.LogSim {
+		t.Fatalf("fallback mismatch: %v vs %v", fast.LogSim, slow.LogSim)
+	}
+}
+
+func TestSimilarityFastAfterLoad(t *testing.T) {
+	rng := rand.New(rand.NewPCG(37, 38))
+	tree := MustNew(Config{AlphabetSize: 5, MaxDepth: 4, Significance: 2, PMin: 0.01})
+	for i := 0; i < 3; i++ {
+		tree.Insert(randomSymbols(rng, 120, 5))
+	}
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.linksValid {
+		t.Fatal("links must be rebuilt after Load of an unpruned tree")
+	}
+	bg := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	probe := randomSymbols(rng, 80, 5)
+	a := loaded.SimilarityFast(probe, bg)
+	b := tree.Similarity(probe, bg)
+	if a.LogSim != b.LogSim {
+		t.Fatalf("loaded fast scan %v != original %v", a.LogSim, b.LogSim)
+	}
+}
+
+func TestSuffixLinkInvariant(t *testing.T) {
+	// slink(c) must always be the node whose label is c's label minus its
+	// most recent symbol (label[1:] in original order is... the label
+	// with the *first* symbol of the reversed path dropped — i.e. the
+	// context without its newest symbol: label[:len-1]? No: the newest
+	// context symbol is the LAST of Label() (closest to the predicted
+	// position). Verify structurally instead: path(slink) == path[1:]
+	// where path is the root-to-node edge sequence.
+	rng := rand.New(rand.NewPCG(39, 40))
+	tree := MustNew(Config{AlphabetSize: 4, MaxDepth: 5, Significance: 1})
+	tree.Insert(randomSymbols(rng, 300, 4))
+	tree.Walk(func(n *Node) bool {
+		if n.depth == 0 {
+			return true
+		}
+		// Root-to-node path.
+		path := make([]Symbolish, 0, n.depth)
+		for cur := n; cur.parent != nil; cur = cur.parent {
+			path = append([]Symbolish{Symbolish(cur.symbol)}, path...)
+		}
+		if n.depth == 1 {
+			if n.slink != tree.root {
+				t.Fatalf("depth-1 node slink != root")
+			}
+			return true
+		}
+		if n.slink == nil {
+			t.Fatalf("missing slink at depth %d", n.depth)
+		}
+		// slink path must equal path[1:].
+		sPath := make([]Symbolish, 0, n.depth-1)
+		for cur := n.slink; cur.parent != nil; cur = cur.parent {
+			sPath = append([]Symbolish{Symbolish(cur.symbol)}, sPath...)
+		}
+		if len(sPath) != len(path)-1 {
+			t.Fatalf("slink depth %d, want %d", len(sPath), len(path)-1)
+		}
+		for i := range sPath {
+			if sPath[i] != path[i+1] {
+				t.Fatalf("slink path %v != %v[1:]", sPath, path)
+			}
+		}
+		// ext must be the exact inverse.
+		if got := n.slink.ext[n.first]; got != n {
+			t.Fatalf("ext inverse broken at depth %d", n.depth)
+		}
+		return true
+	})
+}
+
+// Symbolish keeps the invariant test readable without importing seq.
+type Symbolish uint16

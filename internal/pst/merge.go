@@ -1,0 +1,81 @@
+package pst
+
+import (
+	"fmt"
+
+	"cluseq/internal/seq"
+)
+
+// Merge adds every count of other into t: node counts, next-symbol
+// counters, and total symbol bookkeeping. The result is statistically
+// identical to a tree built from the union of both trees' insertions
+// (modulo each tree's own MaxDepth truncation — both trees must share
+// alphabet size and MaxDepth). Used by the merge-consolidation extension,
+// which unions heavily overlapping clusters instead of dismissing one.
+func (t *Tree) Merge(other *Tree) error {
+	if other == nil {
+		return nil
+	}
+	if other.cfg.AlphabetSize != t.cfg.AlphabetSize {
+		return fmt.Errorf("pst: merge alphabet mismatch: %d vs %d", other.cfg.AlphabetSize, t.cfg.AlphabetSize)
+	}
+	if other.cfg.MaxDepth != t.cfg.MaxDepth {
+		return fmt.Errorf("pst: merge depth mismatch: %d vs %d", other.cfg.MaxDepth, t.cfg.MaxDepth)
+	}
+	var rec func(dst, src *Node)
+	rec = func(dst, src *Node) {
+		dst.Count += src.Count
+		for s, c := range src.next {
+			dst.next[s] += c
+		}
+		for sym, child := range src.children {
+			rec(t.child(dst, sym, true), child)
+		}
+	}
+	rec(t.root, other.root)
+	t.insertions += other.insertions
+	t.pruned += other.pruned
+	if t.maxNodes > 0 && t.numNodes > t.maxNodes {
+		t.pruneTo(t.maxNodes * 9 / 10)
+	}
+	return nil
+}
+
+// InsertCounts adds one explicit context observation: the context occurred
+// once, followed by next (pass alphabet-size as next for an end-of-data
+// occurrence with no successor). Exposed for tests and for callers
+// maintaining trees from pre-aggregated statistics.
+func (t *Tree) InsertCounts(context []seq.Symbol, next seq.Symbol, times int64) error {
+	if times < 0 {
+		return fmt.Errorf("pst: negative count %d", times)
+	}
+	if len(context) > t.cfg.MaxDepth {
+		context = context[len(context)-t.cfg.MaxDepth:]
+	}
+	hasNext := int(next) < t.cfg.AlphabetSize
+	n := t.root
+	if hasNext {
+		// The root counts predicted positions only (its count is the total
+		// symbol count, §3); end-of-data occurrences touch deeper contexts
+		// but not the root, matching Insert's tail pass.
+		t.bump(n, next, times, true)
+	}
+	for d := 1; d <= len(context); d++ {
+		n = t.child(n, context[len(context)-d], true)
+		t.bump(n, next, times, hasNext)
+	}
+	if hasNext {
+		t.insertions += times
+	}
+	if t.maxNodes > 0 && t.numNodes > t.maxNodes {
+		t.pruneTo(t.maxNodes * 9 / 10)
+	}
+	return nil
+}
+
+func (t *Tree) bump(n *Node, next seq.Symbol, times int64, hasNext bool) {
+	n.Count += times
+	if hasNext {
+		n.next[next] += times
+	}
+}

@@ -1,0 +1,490 @@
+// Package pst implements the probabilistic suffix tree (PST) of paper §3:
+// a suffix tree built over reversed sequences in which every node carries
+// an occurrence count and a next-symbol conditional probability vector.
+//
+// A node at depth d, reached from the root along symbols c1, c2, …, cd,
+// represents the context (preceding segment) cd … c2 c1 in original
+// sequence order; the path spells the context reversed, so locating the
+// longest significant suffix of a context is a single root-down walk
+// (paper §3). The node stores
+//
+//   - Count: the number of occurrences of its context in the inserted data,
+//   - next[s]: the number of occurrences of the context followed by s,
+//
+// giving the empirical conditional probability P(s | context) =
+// next[s]/Count exactly as §4.4 prescribes (the ratio of the occurrence
+// frequencies of context·s and context).
+//
+// The tree enforces a memory budget with the three pruning strategies of
+// §5.1 and supports the smoothed ("adjusted") probabilities of §5.2.
+package pst
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"cluseq/internal/seq"
+)
+
+// DefaultMaxDepth bounds context length (the short-memory parameter L)
+// when a Config leaves MaxDepth zero.
+const DefaultMaxDepth = 10
+
+// DefaultSignificance is the paper's rule-of-thumb significance threshold
+// c: a context must occur at least this often for its probability vector
+// to be trusted (§2).
+const DefaultSignificance = 30
+
+// PruneStrategy selects which nodes are evicted first when the tree
+// exceeds its memory budget (§5.1).
+type PruneStrategy int
+
+const (
+	// PruneAuto applies strategy 1 (smallest count) with strategy 2
+	// (longest label) as tie-break while insignificant nodes remain, then
+	// switches to strategy 3 (most expected probability vector), matching
+	// the order the paper presents them in.
+	PruneAuto PruneStrategy = iota
+	// PruneMinCount evicts the node with the smallest count first.
+	PruneMinCount
+	// PruneLongestLabel evicts the node with the longest label first.
+	PruneLongestLabel
+	// PruneExpectedVector evicts the node whose probability vector is
+	// closest (in variational distance) to its parent's, so the parent
+	// substitutes for it with the least estimation error.
+	PruneExpectedVector
+)
+
+// Config parameterizes a Tree.
+type Config struct {
+	// AlphabetSize is the number of distinct symbols n. Required.
+	AlphabetSize int
+	// MaxDepth is the short-memory bound L on context length.
+	// Defaults to DefaultMaxDepth.
+	MaxDepth int
+	// Significance is the significance threshold c. Defaults to
+	// DefaultSignificance.
+	Significance int
+	// MaxBytes caps the tree's (estimated) memory footprint; zero means
+	// unlimited. When the cap is exceeded after an insertion the tree
+	// prunes itself back to 90% of the cap.
+	MaxBytes int
+	// Prune selects the eviction strategy used when MaxBytes is exceeded.
+	Prune PruneStrategy
+	// PMin, when positive, enables the adjusted probability estimation of
+	// §5.2: every returned probability becomes
+	// (1 − n·PMin)·P + PMin, so no symbol is ever impossible.
+	// Must satisfy PMin < 1/n.
+	PMin float64
+	// AdaptiveSignificance scales the effective significance threshold
+	// with the amount of data inserted: max(1, min(Significance,
+	// totalSymbols/(8·n))). A tree holding a single seed sequence then
+	// trusts (memorizes) every context it has — which is what lets a
+	// freshly seeded cluster attract sequences sharing local segments
+	// with its seed — while a grown tree converges to the configured c
+	// and its statistical guarantees. The paper's fixed threshold is the
+	// behaviour with this flag off.
+	AdaptiveSignificance bool
+	// Shrinkage, when positive, replaces the longest-significant-suffix
+	// cutoff in probability estimation with Dirichlet-style shrinkage
+	// toward the parent context: walking the context path from the root,
+	// B_d(s) = (nextCount_d(s) + κ·B_{d−1}(s)) / (count_d + κ).
+	// A context observed once nudges the estimate slightly toward its
+	// continuation (so a freshly seeded cluster can recognize sequences
+	// sharing local segments with its seed), while a context observed
+	// hundreds of times dominates its parent (the statistical regime the
+	// significance threshold c was designed to protect). κ ≈ 4–16 works
+	// well; zero selects the paper's hard-cutoff estimation.
+	Shrinkage float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.AlphabetSize <= 0 {
+		return c, fmt.Errorf("pst: AlphabetSize must be positive, got %d", c.AlphabetSize)
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = DefaultMaxDepth
+	}
+	if c.MaxDepth < 1 {
+		return c, fmt.Errorf("pst: MaxDepth must be at least 1, got %d", c.MaxDepth)
+	}
+	if c.Significance == 0 {
+		c.Significance = DefaultSignificance
+	}
+	if c.Significance < 1 {
+		return c, fmt.Errorf("pst: Significance must be at least 1, got %d", c.Significance)
+	}
+	if c.PMin < 0 || c.PMin*float64(c.AlphabetSize) >= 1 {
+		return c, fmt.Errorf("pst: PMin must lie in [0, 1/alphabetSize), got %g", c.PMin)
+	}
+	return c, nil
+}
+
+// Node is one PST node. Exported fields are read-only for callers.
+type Node struct {
+	parent   *Node
+	children map[seq.Symbol]*Node
+	symbol   seq.Symbol // edge symbol from parent (one more context symbol back in time)
+	depth    int
+
+	// Auxiliary links for the O(l) similarity scan (see fastscan.go).
+	slink *Node                // context minus its most recent symbol
+	ext   map[seq.Symbol]*Node // inverse of slink, per prepended symbol
+	first seq.Symbol           // the context's most recent symbol (root edge)
+
+	// Count is the number of occurrences of this node's context.
+	Count int64
+	// next[s] counts occurrences of the context immediately followed by s.
+	next []int64
+}
+
+// Depth returns the node's context length.
+func (n *Node) Depth() int { return n.depth }
+
+// Label reconstructs the node's context in original (unreversed) symbol
+// order. The root's label is empty.
+func (n *Node) Label() []seq.Symbol {
+	out := make([]seq.Symbol, n.depth)
+	for cur, i := n, 0; cur.parent != nil; cur, i = cur.parent, i+1 {
+		out[i] = cur.symbol
+	}
+	return out
+}
+
+// NextCount returns the occurrence count of context·s.
+func (n *Node) NextCount(s seq.Symbol) int64 { return n.next[s] }
+
+// Tree is a probabilistic suffix tree. It is not safe for concurrent
+// mutation; concurrent reads are safe once construction settles.
+type Tree struct {
+	cfg      Config
+	root     *Node
+	numNodes int
+
+	nodeBytes int // estimated bytes per node, for the memory budget
+	maxNodes  int // 0 = unlimited
+
+	insertions int64 // total symbols inserted, for diagnostics
+	pruned     int64 // nodes evicted so far
+
+	// linksValid reports whether the auxiliary links of fastscan.go are
+	// complete; pruning and out-of-order construction clear it.
+	linksValid bool
+
+	// Cached ln(background) for the similarity scans, keyed by the
+	// background slice identity (see logBackground).
+	logBgMu  sync.Mutex
+	logBgSrc []float64
+	logBg    []float64
+}
+
+// New returns an empty tree for the given configuration.
+func New(cfg Config) (*Tree, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:        cfg,
+		root:       &Node{next: make([]int64, cfg.AlphabetSize)},
+		linksValid: true,
+	}
+	t.numNodes = 1
+	// Estimated footprint of one node: struct header and bookkeeping
+	// (~88 bytes), the next-count vector, and amortized child-map space.
+	t.nodeBytes = 88 + 8*cfg.AlphabetSize + 48
+	if cfg.MaxBytes > 0 {
+		t.maxNodes = cfg.MaxBytes / t.nodeBytes
+		if t.maxNodes < 4 {
+			return nil, fmt.Errorf("pst: MaxBytes=%d holds fewer than 4 nodes (node ≈ %d bytes)", cfg.MaxBytes, t.nodeBytes)
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error, for tests and fixed configurations.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the tree's effective configuration (defaults applied).
+func (t *Tree) Config() Config { return t.cfg }
+
+// Root returns the root node, whose Count is the total number of symbols
+// inserted (the "overall size of the sequence cluster" of §3).
+func (t *Tree) Root() *Node { return t.root }
+
+// NumNodes returns the current number of nodes including the root.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// EstimatedBytes returns the tree's estimated memory footprint.
+func (t *Tree) EstimatedBytes() int { return t.numNodes * t.nodeBytes }
+
+// PrunedNodes returns how many nodes have been evicted by the memory cap.
+func (t *Tree) PrunedNodes() int64 { return t.pruned }
+
+// TotalSymbols returns the total number of symbols inserted.
+func (t *Tree) TotalSymbols() int64 { return t.insertions }
+
+func (t *Tree) child(n *Node, s seq.Symbol, create bool) *Node {
+	if n.children != nil {
+		if c := n.children[s]; c != nil {
+			return c
+		}
+	}
+	if !create {
+		return nil
+	}
+	if n.children == nil {
+		n.children = make(map[seq.Symbol]*Node, 2)
+	}
+	c := &Node{
+		parent: n,
+		symbol: s,
+		depth:  n.depth + 1,
+		next:   make([]int64, t.cfg.AlphabetSize),
+	}
+	n.children[s] = c
+	t.numNodes++
+	if t.linksValid {
+		t.attachLinks(c, n, s)
+	}
+	return c
+}
+
+// Insert adds one segment's statistics to the tree. This is the operation
+// behind both initial construction from a seed sequence and the §4.4
+// incremental update with a joining sequence's best-scoring segment:
+// conceptually it inserts every suffix of the reversed segment, realized
+// here as one pass that, for every position, walks the (reversed) context
+// of up to MaxDepth symbols and updates each visited node's occurrence
+// count and next-symbol counter.
+func (t *Tree) Insert(segment []seq.Symbol) {
+	l := len(segment)
+	if l == 0 {
+		return
+	}
+	L := t.cfg.MaxDepth
+	for i := 0; i < l; i++ {
+		sym := segment[i]
+		// The empty context: the root's count is the total symbol count.
+		t.root.Count++
+		t.root.next[sym]++
+		n := t.root
+		for d := 1; d <= L && i-d >= 0; d++ {
+			n = t.child(n, segment[i-d], true)
+			n.Count++
+			n.next[sym]++
+		}
+	}
+	// Contexts ending at the final position occur without a successor;
+	// count the occurrences so that Count is the exact occurrence count of
+	// every label (§3: "a count C is associated with each node to record
+	// the number of occurrences of its label").
+	n := t.root
+	for d := 1; d <= L && l-d >= 0; d++ {
+		n = t.child(n, segment[l-d], true)
+		n.Count++
+	}
+	t.insertions += int64(l)
+	if t.maxNodes > 0 && t.numNodes > t.maxNodes {
+		t.pruneTo(t.maxNodes * 9 / 10)
+	}
+}
+
+// EffectiveSignificance returns the significance threshold currently in
+// force: the configured c, or its data-scaled reduction when
+// AdaptiveSignificance is set.
+func (t *Tree) EffectiveSignificance() int {
+	if !t.cfg.AdaptiveSignificance {
+		return t.cfg.Significance
+	}
+	s := int(t.insertions / int64(8*t.cfg.AlphabetSize))
+	if s < 1 {
+		return 1
+	}
+	if s > t.cfg.Significance {
+		return t.cfg.Significance
+	}
+	return s
+}
+
+// Significant reports whether node n meets the significance threshold.
+// The root is significant by definition once anything has been inserted.
+func (t *Tree) Significant(n *Node) bool {
+	if n == t.root {
+		return true
+	}
+	return n.Count >= int64(t.EffectiveSignificance())
+}
+
+// PredictionNode locates the node whose label is the longest significant
+// suffix of the given context (paper §3): it walks from the root along the
+// reversed context and stops where a further advance would reach a missing
+// or insignificant node. It never returns nil; with an empty tree it
+// returns the root.
+func (t *Tree) PredictionNode(context []seq.Symbol) *Node {
+	n := t.root
+	L := t.cfg.MaxDepth
+	for d := 1; d <= len(context) && d <= L; d++ {
+		c := t.child(n, context[len(context)-d], false)
+		if c == nil || !t.Significant(c) {
+			break
+		}
+		n = c
+	}
+	return n
+}
+
+// prob returns the raw empirical probability stored at node n for symbol s.
+func (t *Tree) prob(n *Node, s seq.Symbol) float64 {
+	if n.Count == 0 {
+		return 0
+	}
+	return float64(n.next[s]) / float64(n.Count)
+}
+
+// Predict estimates P(s | context), applying the §5.2 adjustment when
+// PMin is configured. With Shrinkage zero it reads the prediction node of
+// the longest significant suffix (the paper's estimator); with Shrinkage
+// positive it blends estimates along the whole context path.
+func (t *Tree) Predict(context []seq.Symbol, s seq.Symbol) float64 {
+	return t.adjust(t.estimate(context, s))
+}
+
+// estimate returns the raw (pre-adjustment) probability estimate for
+// P(s | context) under the configured estimation mode.
+func (t *Tree) estimate(context []seq.Symbol, s seq.Symbol) float64 {
+	if t.cfg.Shrinkage > 0 {
+		return t.predictShrunk(context, s)
+	}
+	return t.prob(t.PredictionNode(context), s)
+}
+
+// predictShrunk walks the reversed context from the root, blending each
+// node's raw estimate with its parent's blended value using κ pseudo-
+// observations of the parent distribution. The blend is linear in the
+// probability vector, so tracking the single entry for s suffices.
+func (t *Tree) predictShrunk(context []seq.Symbol, s seq.Symbol) float64 {
+	n := t.root
+	b := t.prob(n, s)
+	kappa := t.cfg.Shrinkage
+	L := t.cfg.MaxDepth
+	for d := 1; d <= len(context) && d <= L; d++ {
+		c := t.child(n, context[len(context)-d], false)
+		if c == nil {
+			break
+		}
+		b = (float64(c.next[s]) + kappa*b) / (float64(c.Count) + kappa)
+		n = c
+	}
+	return b
+}
+
+// adjust applies the §5.2 smoothing: P̂ = (1 − n·p_min)·P + p_min.
+func (t *Tree) adjust(p float64) float64 {
+	if t.cfg.PMin <= 0 {
+		return p
+	}
+	return (1-float64(t.cfg.AlphabetSize)*t.cfg.PMin)*p + t.cfg.PMin
+}
+
+// Lookup returns the node labeled exactly with the given context, or nil.
+// Unlike PredictionNode it does not stop at insignificant nodes; it is the
+// exact-retrieval primitive used by tests and diagnostics.
+func (t *Tree) Lookup(context []seq.Symbol) *Node {
+	n := t.root
+	for d := 1; d <= len(context); d++ {
+		n = t.child(n, context[len(context)-d], false)
+		if n == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+// Walk visits every node in depth-first pre-order. The visit function
+// returns false to stop early.
+func (t *Tree) Walk(visit func(*Node) bool) {
+	stack := []*Node{t.root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !visit(n) {
+			return
+		}
+		for _, c := range n.children {
+			stack = append(stack, c)
+		}
+	}
+}
+
+// Stats summarizes the tree for diagnostics and experiment reports.
+type Stats struct {
+	Nodes            int
+	SignificantNodes int
+	MaxDepth         int
+	TotalSymbols     int64
+	PrunedNodes      int64
+	EstimatedBytes   int
+}
+
+// Stats computes a snapshot of tree statistics.
+func (t *Tree) Stats() Stats {
+	s := Stats{
+		Nodes:          t.numNodes,
+		TotalSymbols:   t.insertions,
+		PrunedNodes:    t.pruned,
+		EstimatedBytes: t.EstimatedBytes(),
+	}
+	t.Walk(func(n *Node) bool {
+		if t.Significant(n) {
+			s.SignificantNodes++
+		}
+		if n.depth > s.MaxDepth {
+			s.MaxDepth = n.depth
+		}
+		return true
+	})
+	return s
+}
+
+// Dump renders the tree as indented text for debugging, decoding symbols
+// through the given alphabet. Nodes appear in no particular sibling order.
+func (t *Tree) Dump(a *seq.Alphabet) string {
+	var b strings.Builder
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		label := "ε"
+		if n.depth > 0 {
+			label = a.Decode(n.Label())
+		}
+		fmt.Fprintf(&b, "%s%s count=%d next=%v\n", strings.Repeat("  ", n.depth), label, n.Count, n.next)
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	return b.String()
+}
+
+// variationalDistance is Σ|P1(s) − P2(s)| over the alphabet, the distance
+// the §5.1 "expected probability vector" strategy compares with.
+func variationalDistance(n, parent *Node) float64 {
+	if n.Count == 0 || parent.Count == 0 {
+		return 0 // indistinguishable from expected: prune first
+	}
+	d := 0.0
+	for s := range n.next {
+		p1 := float64(n.next[s]) / float64(n.Count)
+		p2 := float64(parent.next[s]) / float64(parent.Count)
+		d += math.Abs(p1 - p2)
+	}
+	return d
+}

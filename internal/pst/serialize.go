@@ -1,0 +1,226 @@
+package pst
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"cluseq/internal/seq"
+)
+
+// Binary serialization of probabilistic suffix trees, so that cluster
+// models can be stored and later used for classification without
+// re-clustering. The format is a little-endian stream:
+//
+//	magic "PSTv1\n", config block, then the node tree in pre-order, each
+//	node as (edge symbol, count, non-zero next entries, child count).
+//
+// Only non-zero next-counts are written; trees over large alphabets are
+// sparse at depth.
+
+var magic = []byte("PSTv1\n")
+
+// Save writes the tree to w in the binary format.
+func (t *Tree) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	cfg := t.cfg
+	hdr := []any{
+		int64(cfg.AlphabetSize), int64(cfg.MaxDepth), int64(cfg.Significance),
+		int64(cfg.MaxBytes), int64(cfg.Prune), cfg.PMin,
+		boolByte(cfg.AdaptiveSignificance), cfg.Shrinkage,
+		t.insertions, t.pruned, int64(t.numNodes),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := t.saveNode(bw, t.root); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (t *Tree) saveNode(w io.Writer, n *Node) error {
+	nonZero := uint32(0)
+	for _, c := range n.next {
+		if c != 0 {
+			nonZero++
+		}
+	}
+	for _, v := range []any{uint16(n.symbol), n.Count, nonZero, uint32(len(n.children))} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for s, c := range n.next {
+		if c == 0 {
+			continue
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(s)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, c); err != nil {
+			return err
+		}
+	}
+	// Children sorted by symbol for byte-reproducible output.
+	syms := make([]seq.Symbol, 0, len(n.children))
+	for s := range n.children {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	for _, s := range syms {
+		if err := t.saveNode(w, n.children[s]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a tree previously written by Save.
+func Load(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("pst: reading magic: %w", err)
+	}
+	if string(got) != string(magic) {
+		return nil, fmt.Errorf("pst: bad magic %q", got)
+	}
+	var (
+		alpha, maxDepth, sig, maxBytes, prune int64
+		pmin, shrink                          float64
+		adaptive                              byte
+		insertions, pruned, numNodes          int64
+	)
+	for _, v := range []any{
+		&alpha, &maxDepth, &sig, &maxBytes, &prune, &pmin,
+		&adaptive, &shrink, &insertions, &pruned, &numNodes,
+	} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("pst: reading header: %w", err)
+		}
+	}
+	if alpha <= 0 || alpha > math.MaxInt32 || numNodes < 1 {
+		return nil, fmt.Errorf("pst: corrupt header (alphabet %d, nodes %d)", alpha, numNodes)
+	}
+	t, err := New(Config{
+		AlphabetSize:         int(alpha),
+		MaxDepth:             int(maxDepth),
+		Significance:         int(sig),
+		MaxBytes:             int(maxBytes),
+		Prune:                PruneStrategy(prune),
+		PMin:                 pmin,
+		AdaptiveSignificance: adaptive != 0,
+		Shrinkage:            shrink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.insertions = insertions
+	t.pruned = pruned
+	remaining := numNodes
+	root, err := t.loadNode(br, nil, 0, &remaining)
+	if err != nil {
+		return nil, err
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("pst: node count mismatch: %d unread", remaining)
+	}
+	t.root = root
+	t.numNodes = int(numNodes)
+	t.rebuildLinks()
+	return t, nil
+}
+
+// rebuildLinks re-derives the auxiliary links of fastscan.go after
+// deserialization. BFS order guarantees a node's suffix link is wired
+// before its children need it.
+func (t *Tree) rebuildLinks() {
+	t.linksValid = true
+	queue := []*Node{t.root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for s, c := range n.children {
+			t.attachLinks(c, n, s)
+			if !t.linksValid {
+				return // tree was pruned before saving; fast scan disabled
+			}
+			queue = append(queue, c)
+		}
+	}
+}
+
+func (t *Tree) loadNode(r io.Reader, parent *Node, depth int, remaining *int64) (*Node, error) {
+	if *remaining <= 0 {
+		return nil, fmt.Errorf("pst: more nodes in stream than header declared")
+	}
+	*remaining--
+	if depth > t.cfg.MaxDepth {
+		return nil, fmt.Errorf("pst: node depth %d exceeds MaxDepth %d", depth, t.cfg.MaxDepth)
+	}
+	var (
+		sym      uint16
+		count    int64
+		nonZero  uint32
+		children uint32
+	)
+	for _, v := range []any{&sym, &count, &nonZero, &children} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("pst: reading node: %w", err)
+		}
+	}
+	if count < 0 || int(nonZero) > t.cfg.AlphabetSize {
+		return nil, fmt.Errorf("pst: corrupt node (count %d, %d next entries)", count, nonZero)
+	}
+	n := &Node{
+		parent: parent,
+		symbol: seq.Symbol(sym),
+		depth:  depth,
+		Count:  count,
+		next:   make([]int64, t.cfg.AlphabetSize),
+	}
+	for i := uint32(0); i < nonZero; i++ {
+		var s uint16
+		var c int64
+		if err := binary.Read(r, binary.LittleEndian, &s); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &c); err != nil {
+			return nil, err
+		}
+		if int(s) >= t.cfg.AlphabetSize || c < 0 {
+			return nil, fmt.Errorf("pst: corrupt next entry (symbol %d, count %d)", s, c)
+		}
+		n.next[s] = c
+	}
+	if children > 0 {
+		n.children = make(map[seq.Symbol]*Node, children)
+		for i := uint32(0); i < children; i++ {
+			child, err := t.loadNode(r, n, depth+1, remaining)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := n.children[child.symbol]; dup {
+				return nil, fmt.Errorf("pst: duplicate child symbol %d", child.symbol)
+			}
+			n.children[child.symbol] = child
+		}
+	}
+	return n, nil
+}

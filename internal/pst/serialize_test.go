@@ -1,0 +1,165 @@
+package pst
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"cluseq/internal/seq"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	orig := MustNew(Config{
+		AlphabetSize: 20, MaxDepth: 6, Significance: 7,
+		PMin: 0.005, AdaptiveSignificance: true,
+	})
+	for i := 0; i < 10; i++ {
+		orig.Insert(randomSymbols(rng, 200, 20))
+	}
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	if loaded.NumNodes() != orig.NumNodes() {
+		t.Fatalf("NumNodes = %d, want %d", loaded.NumNodes(), orig.NumNodes())
+	}
+	if loaded.TotalSymbols() != orig.TotalSymbols() {
+		t.Fatalf("TotalSymbols = %d, want %d", loaded.TotalSymbols(), orig.TotalSymbols())
+	}
+	if loaded.Config() != orig.Config() {
+		t.Fatalf("Config = %+v, want %+v", loaded.Config(), orig.Config())
+	}
+	// Every node must match: counts, next vectors, structure.
+	orig.Walk(func(n *Node) bool {
+		m := loaded.Lookup(n.Label())
+		if m == nil {
+			t.Fatalf("node %v missing after round trip", n.Label())
+		}
+		if m.Count != n.Count || m.Depth() != n.Depth() {
+			t.Fatalf("node %v differs: %d/%d vs %d/%d", n.Label(), m.Count, m.Depth(), n.Count, n.Depth())
+		}
+		for s := seq.Symbol(0); int(s) < 20; s++ {
+			if m.NextCount(s) != n.NextCount(s) {
+				t.Fatalf("node %v next[%d] differs", n.Label(), s)
+			}
+		}
+		return true
+	})
+	// Predictions must agree exactly.
+	bg := make([]float64, 20)
+	for i := range bg {
+		bg[i] = 0.05
+	}
+	probe := randomSymbols(rng, 300, 20)
+	a := orig.Similarity(probe, bg)
+	b := loaded.Similarity(probe, bg)
+	if a.LogSim != b.LogSim || a.Start != b.Start || a.End != b.End {
+		t.Fatalf("similarity differs after round trip: %+v vs %+v", a, b)
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	tree := MustNew(Config{AlphabetSize: 5, MaxDepth: 4, Significance: 2})
+	tree.Insert(randomSymbols(rng, 100, 5))
+	var b1, b2 bytes.Buffer
+	if err := tree.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("Save output is not byte-deterministic")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTPST\n plus junk that is long enough"),
+		"truncated": []byte("PSTv1\n\x01\x02"),
+	}
+	for name, in := range cases {
+		if _, err := Load(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: Load should fail", name)
+		}
+	}
+}
+
+func TestLoadRejectsTamperedNodeCount(t *testing.T) {
+	tree := MustNew(Config{AlphabetSize: 3, MaxDepth: 3, Significance: 1})
+	tree.Insert([]seq.Symbol{0, 1, 2, 0, 1})
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The numNodes field sits at a fixed offset: magic(6) + 5×int64 +
+	// float64 + byte + float64 + 2×int64 = 6 + 40 + 8 + 1 + 8 + 16 = 79.
+	data[79] = 1 // clobber node count
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("Load should reject mismatched node count")
+	}
+}
+
+func TestSaveLoadEmptyTree(t *testing.T) {
+	tree := MustNew(Config{AlphabetSize: 4})
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != 1 || loaded.Root().Count != 0 {
+		t.Fatalf("empty tree round trip: %d nodes, root count %d", loaded.NumNodes(), loaded.Root().Count)
+	}
+}
+
+func TestSaveLoadLargeAlphabetSparse(t *testing.T) {
+	// Sparse next vectors over a large alphabet must stay compact.
+	tree := MustNew(Config{AlphabetSize: 5000, MaxDepth: 3, Significance: 1})
+	tree.Insert([]seq.Symbol{7, 4999, 7, 4999, 7})
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 4096 {
+		t.Fatalf("sparse tree serialized to %d bytes; next vectors not sparse?", buf.Len())
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := loaded.Lookup([]seq.Symbol{7})
+	if n == nil || n.NextCount(4999) != 2 {
+		t.Fatal("sparse counts lost in round trip")
+	}
+}
+
+func TestLoadGarbageAfterValidHeader(t *testing.T) {
+	tree := MustNew(Config{AlphabetSize: 3, MaxDepth: 3, Significance: 1})
+	tree.Insert([]seq.Symbol{0, 1, 2})
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-node.
+	data := buf.Bytes()[:buf.Len()-3]
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("Load should fail on truncated node data")
+	}
+	if _, err := Load(strings.NewReader(string(buf.Bytes()) + "trailing")); err != nil {
+		t.Fatal("trailing bytes after a complete tree should be ignored (stream use)")
+	}
+}

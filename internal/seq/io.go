@@ -1,0 +1,130 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The on-disk format is a FASTA-like plain text format:
+//
+//	# alphabet: abcdefg
+//	> id1 label1
+//	abcabcgfe
+//	> id2 label2
+//	gfedcba
+//
+// Header lines start with '>' and carry an ID and an optional label
+// separated by whitespace. Sequence data may span multiple lines until the
+// next header. The optional "# alphabet:" directive pins the alphabet; when
+// absent, the alphabet is inferred from the sequence data in appearance
+// order.
+
+// Write serializes the database to w, including the alphabet directive so
+// that a round trip preserves symbol numbering. Alphabets containing the
+// line-structural characters '#' or '>' (or whitespace) cannot round-trip
+// through the text format and are rejected.
+func Write(w io.Writer, db *Database) error {
+	if strings.ContainsAny(db.Alphabet.String(), "#> \t\r\n") {
+		return fmt.Errorf("seq: alphabet %q contains '#', '>' or whitespace, which the text format cannot represent", db.Alphabet.String())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# alphabet: %s\n", db.Alphabet.String()); err != nil {
+		return err
+	}
+	for _, s := range db.Sequences {
+		if strings.ContainsAny(s.ID, " \t\n") || strings.ContainsAny(s.Label, "\t\n") {
+			return fmt.Errorf("seq: sequence %q: IDs and labels must not contain whitespace", s.ID)
+		}
+		if s.Label != "" {
+			fmt.Fprintf(bw, "> %s %s\n", s.ID, s.Label)
+		} else {
+			fmt.Fprintf(bw, "> %s\n", s.ID)
+		}
+		raw := db.Alphabet.Decode(s.Symbols)
+		// Wrap long sequences at 80 columns for readability.
+		for len(raw) > 80 {
+			fmt.Fprintln(bw, raw[:80])
+			raw = raw[80:]
+		}
+		if _, err := fmt.Fprintln(bw, raw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a database from r. If the stream carries no alphabet
+// directive, the alphabet is inferred from the sequence characters in
+// appearance order.
+func Read(r io.Reader) (*Database, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	var alphabet *Alphabet
+	type raw struct {
+		id, label string
+		data      strings.Builder
+	}
+	var entries []*raw
+	var cur *raw
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, "# alphabet:"):
+			if alphabet != nil {
+				return nil, fmt.Errorf("seq: line %d: duplicate alphabet directive", line)
+			}
+			a, err := NewAlphabet(strings.TrimSpace(strings.TrimPrefix(text, "# alphabet:")))
+			if err != nil {
+				return nil, fmt.Errorf("seq: line %d: %w", line, err)
+			}
+			alphabet = a
+		case strings.HasPrefix(text, "#"):
+			continue // comment
+		case strings.HasPrefix(text, ">"):
+			fields := strings.Fields(strings.TrimPrefix(text, ">"))
+			cur = &raw{}
+			switch len(fields) {
+			case 0:
+				cur.id = fmt.Sprintf("seq%d", len(entries)+1)
+			case 1:
+				cur.id = fields[0]
+			default:
+				cur.id, cur.label = fields[0], fields[1]
+			}
+			entries = append(entries, cur)
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("seq: line %d: sequence data before any '>' header", line)
+			}
+			cur.data.WriteString(text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: %w", err)
+	}
+	if alphabet == nil {
+		var all strings.Builder
+		for _, e := range entries {
+			all.WriteString(e.data.String())
+		}
+		a, err := NewAlphabet(all.String())
+		if err != nil {
+			return nil, fmt.Errorf("seq: cannot infer alphabet: %w", err)
+		}
+		alphabet = a
+	}
+	db := NewDatabase(alphabet)
+	for _, e := range entries {
+		if err := db.AddString(e.id, e.label, e.data.String()); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,261 @@
+// Package seq provides the fundamental data types shared by every other
+// package in this repository: symbols, alphabets, sequences, and sequence
+// databases, together with a plain-text serialization format.
+//
+// A Symbol is a small integer index into an Alphabet. Working with dense
+// integer symbols rather than runes keeps the probabilistic suffix tree and
+// every baseline algorithm free of map lookups on their hot paths.
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is the dense integer encoding of one alphabet character.
+// Symbols are indices in the range [0, Alphabet.Size()).
+type Symbol uint16
+
+// MaxAlphabetSize bounds the number of distinct symbols an Alphabet may
+// hold. The paper's largest experiment uses a few hundred distinct symbols;
+// 65535 leaves generous headroom while keeping Symbol at two bytes.
+const MaxAlphabetSize = 1<<16 - 1
+
+// Alphabet is an immutable bidirectional mapping between runes and Symbols.
+type Alphabet struct {
+	runes []rune
+	index map[rune]Symbol
+}
+
+// NewAlphabet builds an alphabet from the distinct runes of s, in first
+// appearance order. Duplicate runes are ignored.
+func NewAlphabet(s string) (*Alphabet, error) {
+	a := &Alphabet{index: make(map[rune]Symbol)}
+	for _, r := range s {
+		if _, ok := a.index[r]; ok {
+			continue
+		}
+		if len(a.runes) >= MaxAlphabetSize {
+			return nil, fmt.Errorf("seq: alphabet exceeds %d symbols", MaxAlphabetSize)
+		}
+		a.index[r] = Symbol(len(a.runes))
+		a.runes = append(a.runes, r)
+	}
+	if len(a.runes) == 0 {
+		return nil, fmt.Errorf("seq: empty alphabet")
+	}
+	return a, nil
+}
+
+// MustAlphabet is NewAlphabet that panics on error, for constant alphabets.
+func MustAlphabet(s string) *Alphabet {
+	a, err := NewAlphabet(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Size returns the number of distinct symbols in the alphabet.
+func (a *Alphabet) Size() int { return len(a.runes) }
+
+// Rune returns the rune for symbol s. It panics if s is out of range.
+func (a *Alphabet) Rune(s Symbol) rune { return a.runes[s] }
+
+// Symbol returns the Symbol for rune r and whether r is in the alphabet.
+func (a *Alphabet) Symbol(r rune) (Symbol, bool) {
+	s, ok := a.index[r]
+	return s, ok
+}
+
+// String renders the alphabet's runes in symbol order.
+func (a *Alphabet) String() string { return string(a.runes) }
+
+// Encode converts a string to a symbol slice. It fails on the first rune
+// that is not part of the alphabet.
+func (a *Alphabet) Encode(s string) ([]Symbol, error) {
+	out := make([]Symbol, 0, len(s))
+	for i, r := range s {
+		sym, ok := a.index[r]
+		if !ok {
+			return nil, fmt.Errorf("seq: rune %q at byte %d not in alphabet %q", r, i, a.String())
+		}
+		out = append(out, sym)
+	}
+	return out, nil
+}
+
+// Decode converts a symbol slice back to a string.
+func (a *Alphabet) Decode(syms []Symbol) string {
+	var b strings.Builder
+	b.Grow(len(syms))
+	for _, s := range syms {
+		b.WriteRune(a.runes[s])
+	}
+	return b.String()
+}
+
+// Sequence is an ordered list of symbols with an identifier and an optional
+// ground-truth label (the "family" in the paper's evaluation, empty when
+// unknown).
+type Sequence struct {
+	ID      string
+	Label   string
+	Symbols []Symbol
+}
+
+// Len returns the number of symbols in the sequence.
+func (s *Sequence) Len() int { return len(s.Symbols) }
+
+// Reversed returns a new symbol slice holding s in reverse order, as used
+// when inserting a sequence into a probabilistic suffix tree.
+func (s *Sequence) Reversed() []Symbol {
+	out := make([]Symbol, len(s.Symbols))
+	for i, sym := range s.Symbols {
+		out[len(s.Symbols)-1-i] = sym
+	}
+	return out
+}
+
+// Segment returns the half-open sub-slice [i, j) of the sequence's symbols.
+// The returned slice aliases the sequence; callers must not mutate it.
+func (s *Sequence) Segment(i, j int) []Symbol {
+	return s.Symbols[i:j]
+}
+
+// Database is a set of sequences over one alphabet.
+type Database struct {
+	Alphabet  *Alphabet
+	Sequences []*Sequence
+}
+
+// NewDatabase returns an empty database over alphabet a.
+func NewDatabase(a *Alphabet) *Database {
+	return &Database{Alphabet: a}
+}
+
+// Add appends a sequence to the database.
+func (db *Database) Add(s *Sequence) { db.Sequences = append(db.Sequences, s) }
+
+// AddString encodes raw under the database alphabet and appends it.
+func (db *Database) AddString(id, label, raw string) error {
+	syms, err := db.Alphabet.Encode(raw)
+	if err != nil {
+		return fmt.Errorf("seq: sequence %q: %w", id, err)
+	}
+	db.Add(&Sequence{ID: id, Label: label, Symbols: syms})
+	return nil
+}
+
+// Len returns the number of sequences in the database.
+func (db *Database) Len() int { return len(db.Sequences) }
+
+// TotalSymbols returns the sum of the lengths of all sequences.
+func (db *Database) TotalSymbols() int {
+	total := 0
+	for _, s := range db.Sequences {
+		total += len(s.Symbols)
+	}
+	return total
+}
+
+// AverageLength returns the mean sequence length, or 0 for an empty database.
+func (db *Database) AverageLength() float64 {
+	if len(db.Sequences) == 0 {
+		return 0
+	}
+	return float64(db.TotalSymbols()) / float64(len(db.Sequences))
+}
+
+// SymbolFrequencies returns the empirical probability p(s) of observing each
+// symbol at any position of any sequence in the database — the memoryless
+// background distribution of the paper's similarity measure. Symbols that
+// never occur receive a pseudo-count of one occurrence so that the
+// background probability is never exactly zero.
+func (db *Database) SymbolFrequencies() []float64 {
+	counts := make([]float64, db.Alphabet.Size())
+	total := 0.0
+	for _, s := range db.Sequences {
+		for _, sym := range s.Symbols {
+			counts[sym]++
+			total++
+		}
+	}
+	for i := range counts {
+		if counts[i] == 0 {
+			counts[i] = 1
+			total++
+		}
+	}
+	if total == 0 {
+		uniform := 1 / float64(len(counts))
+		for i := range counts {
+			counts[i] = uniform
+		}
+		return counts
+	}
+	for i := range counts {
+		counts[i] /= total
+	}
+	return counts
+}
+
+// Labels returns the distinct ground-truth labels present in the database,
+// sorted lexicographically. Sequences with an empty label are skipped.
+func (db *Database) Labels() []string {
+	set := make(map[string]bool)
+	for _, s := range db.Sequences {
+		if s.Label != "" {
+			set[s.Label] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LabelCounts returns the number of sequences carrying each non-empty label.
+func (db *Database) LabelCounts() map[string]int {
+	out := make(map[string]int)
+	for _, s := range db.Sequences {
+		if s.Label != "" {
+			out[s.Label]++
+		}
+	}
+	return out
+}
+
+// Subset returns a new database sharing the alphabet and containing the
+// sequences at the given indices, in the given order.
+func (db *Database) Subset(indices []int) *Database {
+	out := NewDatabase(db.Alphabet)
+	out.Sequences = make([]*Sequence, 0, len(indices))
+	for _, i := range indices {
+		out.Sequences = append(out.Sequences, db.Sequences[i])
+	}
+	return out
+}
+
+// Validate checks every sequence for out-of-range symbols and duplicate IDs.
+func (db *Database) Validate() error {
+	n := Symbol(db.Alphabet.Size())
+	ids := make(map[string]bool, len(db.Sequences))
+	for _, s := range db.Sequences {
+		if s.ID != "" {
+			if ids[s.ID] {
+				return fmt.Errorf("seq: duplicate sequence ID %q", s.ID)
+			}
+			ids[s.ID] = true
+		}
+		for i, sym := range s.Symbols {
+			if sym >= n {
+				return fmt.Errorf("seq: sequence %q: symbol %d at position %d out of range (alphabet size %d)", s.ID, sym, i, n)
+			}
+		}
+	}
+	return nil
+}

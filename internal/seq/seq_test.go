@@ -1,0 +1,344 @@
+package seq
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAlphabet(t *testing.T) {
+	a, err := NewAlphabet("abcabc")
+	if err != nil {
+		t.Fatalf("NewAlphabet: %v", err)
+	}
+	if a.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (duplicates must collapse)", a.Size())
+	}
+	if a.String() != "abc" {
+		t.Fatalf("String = %q, want %q", a.String(), "abc")
+	}
+	for i, r := range "abc" {
+		sym, ok := a.Symbol(r)
+		if !ok || sym != Symbol(i) {
+			t.Errorf("Symbol(%q) = %d,%v; want %d,true", r, sym, ok, i)
+		}
+		if a.Rune(Symbol(i)) != r {
+			t.Errorf("Rune(%d) = %q, want %q", i, a.Rune(Symbol(i)), r)
+		}
+	}
+	if _, ok := a.Symbol('z'); ok {
+		t.Error("Symbol('z') should not be present")
+	}
+}
+
+func TestNewAlphabetEmpty(t *testing.T) {
+	if _, err := NewAlphabet(""); err == nil {
+		t.Fatal("NewAlphabet(\"\") should fail")
+	}
+}
+
+func TestMustAlphabetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlphabet(\"\") should panic")
+		}
+	}()
+	MustAlphabet("")
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	a := MustAlphabet("abcdefgh")
+	in := "hagfedcbabc"
+	syms, err := a.Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := a.Decode(syms); got != in {
+		t.Fatalf("round trip = %q, want %q", got, in)
+	}
+}
+
+func TestEncodeRejectsForeignRune(t *testing.T) {
+	a := MustAlphabet("abc")
+	if _, err := a.Encode("abz"); err == nil {
+		t.Fatal("Encode should reject rune outside alphabet")
+	}
+}
+
+func TestEncodeDecodeUnicode(t *testing.T) {
+	a := MustAlphabet("αβγ∂")
+	in := "∂γβααβ"
+	syms, err := a.Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := a.Decode(syms); got != in {
+		t.Fatalf("round trip = %q, want %q", got, in)
+	}
+}
+
+func TestSequenceReversed(t *testing.T) {
+	a := MustAlphabet("abc")
+	syms, _ := a.Encode("aabc")
+	s := &Sequence{ID: "x", Symbols: syms}
+	if got := a.Decode(s.Reversed()); got != "cbaa" {
+		t.Fatalf("Reversed = %q, want %q", got, "cbaa")
+	}
+	// Reversed must not mutate the original.
+	if got := a.Decode(s.Symbols); got != "aabc" {
+		t.Fatalf("original mutated to %q", got)
+	}
+}
+
+func TestReversedInvolution(t *testing.T) {
+	// reverse(reverse(x)) == x for arbitrary symbol content.
+	f := func(raw []byte) bool {
+		syms := make([]Symbol, len(raw))
+		for i, b := range raw {
+			syms[i] = Symbol(b)
+		}
+		s := &Sequence{Symbols: syms}
+		rr := (&Sequence{Symbols: s.Reversed()}).Reversed()
+		if len(rr) != len(syms) {
+			return false
+		}
+		for i := range rr {
+			if rr[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	a := MustAlphabet("ab")
+	db := NewDatabase(a)
+	if err := db.AddString("s1", "L1", "aab"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddString("s2", "L2", "bb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddString("s3", "", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", db.Len())
+	}
+	if db.TotalSymbols() != 6 {
+		t.Fatalf("TotalSymbols = %d, want 6", db.TotalSymbols())
+	}
+	if got := db.AverageLength(); got != 2 {
+		t.Fatalf("AverageLength = %v, want 2", got)
+	}
+	labels := db.Labels()
+	if len(labels) != 2 || labels[0] != "L1" || labels[1] != "L2" {
+		t.Fatalf("Labels = %v, want [L1 L2]", labels)
+	}
+	counts := db.LabelCounts()
+	if counts["L1"] != 1 || counts["L2"] != 1 {
+		t.Fatalf("LabelCounts = %v", counts)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSymbolFrequencies(t *testing.T) {
+	a := MustAlphabet("abc")
+	db := NewDatabase(a)
+	// 4 a's, 2 b's, 0 c's -> c gets one pseudo-count, total 7.
+	db.AddString("s1", "", "aaba")
+	db.AddString("s2", "", "ab")
+	p := db.SymbolFrequencies()
+	sum := 0.0
+	for _, v := range p {
+		if v <= 0 {
+			t.Fatalf("frequency must be positive, got %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("frequencies sum to %v, want 1", sum)
+	}
+	if p[0] != 4.0/7 || p[1] != 2.0/7 || p[2] != 1.0/7 {
+		t.Fatalf("frequencies = %v, want [4/7 2/7 1/7]", p)
+	}
+}
+
+func TestSymbolFrequenciesEmptyDatabase(t *testing.T) {
+	db := NewDatabase(MustAlphabet("abcd"))
+	p := db.SymbolFrequencies()
+	for _, v := range p {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("empty db frequencies = %v, want uniform", p)
+		}
+	}
+}
+
+func TestSymbolFrequenciesSumToOne(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := MustAlphabet("abcdefgh")
+		db := NewDatabase(a)
+		syms := make([]Symbol, len(raw))
+		for i, b := range raw {
+			syms[i] = Symbol(b % 8)
+		}
+		db.Add(&Sequence{ID: "s", Symbols: syms})
+		sum := 0.0
+		for _, v := range db.SymbolFrequencies() {
+			if v <= 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := MustAlphabet("ab")
+	db := NewDatabase(a)
+	for i := 0; i < 5; i++ {
+		db.Add(&Sequence{ID: string(rune('a' + i)), Symbols: []Symbol{Symbol(i % 2)}})
+	}
+	sub := db.Subset([]int{4, 0, 2})
+	if sub.Len() != 3 || sub.Sequences[0].ID != "e" || sub.Sequences[1].ID != "a" || sub.Sequences[2].ID != "c" {
+		t.Fatalf("Subset wrong: %+v", sub.Sequences)
+	}
+	if sub.Alphabet != db.Alphabet {
+		t.Fatal("Subset must share the alphabet")
+	}
+}
+
+func TestValidateCatchesBadSymbol(t *testing.T) {
+	db := NewDatabase(MustAlphabet("ab"))
+	db.Add(&Sequence{ID: "bad", Symbols: []Symbol{0, 7}})
+	if err := db.Validate(); err == nil {
+		t.Fatal("Validate should reject out-of-range symbol")
+	}
+}
+
+func TestValidateCatchesDuplicateID(t *testing.T) {
+	db := NewDatabase(MustAlphabet("ab"))
+	db.Add(&Sequence{ID: "x", Symbols: []Symbol{0}})
+	db.Add(&Sequence{ID: "x", Symbols: []Symbol{1}})
+	if err := db.Validate(); err == nil {
+		t.Fatal("Validate should reject duplicate IDs")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	a := MustAlphabet("abcd")
+	db := NewDatabase(a)
+	db.AddString("s1", "fam1", strings.Repeat("abcd", 50)) // exercises line wrapping
+	db.AddString("s2", "", "dcba")
+	db.AddString("s3", "fam2", "a")
+
+	var buf strings.Builder
+	if err := Write(&buf, db); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Alphabet.String() != "abcd" {
+		t.Fatalf("alphabet = %q, want abcd", got.Alphabet.String())
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), db.Len())
+	}
+	for i := range db.Sequences {
+		want, have := db.Sequences[i], got.Sequences[i]
+		if want.ID != have.ID || want.Label != have.Label {
+			t.Fatalf("sequence %d header mismatch: %q/%q vs %q/%q", i, have.ID, have.Label, want.ID, want.Label)
+		}
+		if a.Decode(want.Symbols) != got.Alphabet.Decode(have.Symbols) {
+			t.Fatalf("sequence %d data mismatch", i)
+		}
+	}
+}
+
+func TestReadInfersAlphabet(t *testing.T) {
+	in := "> s1 lab\nhello\n> s2\nworld\n"
+	db, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len())
+	}
+	if got := db.Alphabet.Decode(db.Sequences[1].Symbols); got != "world" {
+		t.Fatalf("decoded = %q, want world", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"data before header":  "abc\n> s1\nabc\n",
+		"duplicate directive": "# alphabet: ab\n# alphabet: ab\n> s\na\n",
+		"empty stream":        "",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read should fail", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlankLines(t *testing.T) {
+	in := "# a comment\n\n> s1\n# mid comment\nab\n\nba\n"
+	db, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := db.Alphabet.Decode(db.Sequences[0].Symbols); got != "abba" {
+		t.Fatalf("decoded = %q, want abba (multi-line concatenation)", got)
+	}
+}
+
+func TestWriteRejectsStructuralAlphabet(t *testing.T) {
+	// '#' and '>' at the start of a wrapped data line would be parsed as
+	// comment/header; Write must refuse such alphabets outright.
+	for _, alpha := range []string{"a#b", "a>b", "a b"} {
+		db := NewDatabase(MustAlphabet(alpha))
+		db.Add(&Sequence{ID: "s", Symbols: []Symbol{0}})
+		var buf strings.Builder
+		if err := Write(&buf, db); err == nil {
+			t.Errorf("alphabet %q: Write should fail", alpha)
+		}
+	}
+}
+
+func TestWriteRejectsWhitespaceID(t *testing.T) {
+	db := NewDatabase(MustAlphabet("a"))
+	db.Add(&Sequence{ID: "bad id", Symbols: []Symbol{0}})
+	var buf strings.Builder
+	if err := Write(&buf, db); err == nil {
+		t.Fatal("Write should reject IDs containing whitespace")
+	}
+}
+
+func TestSegmentAliases(t *testing.T) {
+	a := MustAlphabet("abc")
+	syms, _ := a.Encode("abcabc")
+	s := &Sequence{Symbols: syms}
+	if got := a.Decode(s.Segment(1, 4)); got != "bca" {
+		t.Fatalf("Segment(1,4) = %q, want bca", got)
+	}
+	if got := a.Decode(s.Segment(0, 0)); got != "" {
+		t.Fatalf("empty segment = %q", got)
+	}
+}
