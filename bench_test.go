@@ -543,6 +543,46 @@ func BenchmarkAblationWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkRecluster measures the two-phase reclustering engine — the
+// hot loop of the whole algorithm — crossing the version-stamped
+// similarity cache (on/off) with worker counts (1/4). The cached runs
+// skip every (sequence, cluster) pair whose tree did not change since
+// the previous iteration; hit/miss totals from the iteration trace are
+// attached as metrics so the cache's coverage is visible alongside its
+// speedup. cmd/experiments -bench-recluster writes the same grid as
+// JSON for the repo's perf trajectory.
+func BenchmarkRecluster(b *testing.B) {
+	db := ablationSyntheticDB(b)
+	for _, workers := range []int{1, 4} {
+		for _, cacheOff := range []bool{false, true} {
+			cache := "on"
+			if cacheOff {
+				cache = "off"
+			}
+			b.Run(fmt.Sprintf("cache=%s/workers=%d", cache, workers), func(b *testing.B) {
+				hits, misses := 0, 0
+				for i := 0; i < b.N; i++ {
+					cfg := ablationSyntheticConfig()
+					cfg.InitialClusters = 5
+					cfg.Workers = workers
+					cfg.CacheOff = cacheOff
+					res, err := core.Cluster(db, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					hits, misses = 0, 0
+					for _, tr := range res.Trace {
+						hits += tr.CacheHits
+						misses += tr.CacheMisses
+					}
+				}
+				b.ReportMetric(float64(hits), "hits")
+				b.ReportMetric(float64(misses), "misses")
+			})
+		}
+	}
+}
+
 // BenchmarkClusterEndToEnd measures the public API on a mid-size workload,
 // the headline number for downstream users.
 func BenchmarkClusterEndToEnd(b *testing.B) {

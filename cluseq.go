@@ -56,6 +56,10 @@ type (
 	Result = core.Result
 	// ClusterInfo describes one discovered cluster.
 	ClusterInfo = core.ClusterInfo
+	// IterationTrace records one outer-loop iteration: cluster churn,
+	// membership moves, threshold adjustment, and the similarity cache's
+	// hit/miss counters.
+	IterationTrace = core.IterationTrace
 	// OrderStrategy selects the sequence examination order (§6.3).
 	OrderStrategy = core.OrderStrategy
 )

@@ -38,6 +38,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		depth    = fs.Int("depth", 10, "maximum PST context depth (short-memory bound L)")
 		maxBytes = fs.Int("pst-bytes", 0, "per-cluster PST memory cap in bytes (0 = unlimited)")
 		seed     = fs.Uint64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 0, "similarity-scoring parallelism (0 = all CPUs, 1 = serial; results are identical either way)")
+		cacheOff = fs.Bool("cache-off", false, "disable the cross-iteration similarity cache (re-score every pair each pass)")
 		verbose  = fs.Bool("v", false, "log per-iteration progress to stderr")
 		idsOnly  = fs.Bool("ids", false, "print only cluster member IDs, one cluster per line")
 		model    = fs.String("model", "", "write the trained cluster models to this file (for cmd/classify)")
@@ -75,6 +77,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		MaxDepth:            *depth,
 		MaxPSTBytes:         *maxBytes,
 		Seed:                *seed,
+		Workers:             *workers,
+		CacheOff:            *cacheOff,
 		KeepTrees:           *model != "",
 	}
 	if *verbose {

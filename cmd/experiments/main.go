@@ -6,8 +6,13 @@
 //	experiments [-scale tiny|small|paper] [-seed N] [-run LIST] [-v]
 //
 // -run selects a comma-separated subset of: table2, table3, table4,
-// figure4, figure5, table5, table6, order, figure6a, figure6b, figure6c,
-// figure6d (default: all).
+// figure4, figure5, table5, table6, order, outliers, recluster,
+// figure6a, figure6b, figure6c, figure6d (default: all).
+//
+// -bench-recluster FILE is a standalone mode: it runs only the
+// reclustering benchmark (similarity cache on/off × worker counts) and
+// writes the result as JSON to FILE (conventionally
+// BENCH_recluster.json), seeding the repository's perf trajectory.
 //
 // The paper scale replays the exact workload sizes of the paper
 // (100,000 × 1000 synthetic, 8000 proteins) and can take hours; the
@@ -15,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +57,7 @@ func buildRunners(sc experiments.Scale, seed uint64) []runner {
 		{"table6", func() (result, error) { return experiments.RunTable6(sc, seed) }},
 		{"order", func() (result, error) { return experiments.RunOrderStudy(sc, seed) }},
 		{"outliers", func() (result, error) { return experiments.RunOutlierStudy(sc, seed) }},
+		{"recluster", func() (result, error) { return experiments.RunReclusterBench(sc, seed) }},
 	}
 	for i, axis := range experiments.Figure6Axes {
 		axis := axis
@@ -72,12 +79,44 @@ func experimentNames() []string {
 	return names
 }
 
+// runReclusterBench executes the reclustering benchmark grid (similarity
+// cache on/off × worker counts), prints the table, and serializes the
+// result as indented JSON — the machine-readable perf baseline
+// successive revisions diff against.
+func runReclusterBench(sc experiments.Scale, seed uint64, path string) error {
+	start := time.Now()
+	res, err := experiments.RunReclusterBench(sc, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== recluster (took %.1fs) ==\n%s\n", time.Since(start).Seconds(), res)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	scaleFlag := flag.String("scale", "small", "workload scale: tiny|small|paper")
 	seed := flag.Uint64("seed", 1, "random seed for workload generation and clustering")
 	runFlag := flag.String("run", "all", "comma-separated experiments to run, or 'all'")
 	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
+	benchRecluster := flag.String("bench-recluster", "", "run only the reclustering benchmark and write it as JSON to this file (e.g. BENCH_recluster.json)")
 	flag.Parse()
+
+	if *benchRecluster != "" {
+		sc, err := experiments.ParseScale(*scaleFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := runReclusterBench(sc, *seed, *benchRecluster); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

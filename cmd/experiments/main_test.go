@@ -10,7 +10,7 @@ import (
 func TestExperimentNameRegistry(t *testing.T) {
 	want := []string{
 		"table2", "table3", "table4", "figure4", "figure5",
-		"table5", "table6", "order", "outliers",
+		"table5", "table6", "order", "outliers", "recluster",
 		"figure6a", "figure6b", "figure6c", "figure6d",
 	}
 	got := experimentNames()

@@ -131,8 +131,19 @@ type Config struct {
 	// Seed drives all randomized choices (sampling, ordering). Default 1.
 	Seed uint64
 	// Workers bounds the parallelism of similarity evaluation; 0 uses
-	// GOMAXPROCS, 1 forces the paper's serial behaviour.
+	// GOMAXPROCS, 1 forces the paper's serial behaviour. Reclustering
+	// fans sequences out across a persistent worker pool in a read-only
+	// scoring phase, then applies joins and tree updates serially in the
+	// §6.3 examination order, so results are bit-identical across
+	// worker counts (and to the serial algorithm).
 	Workers int
+	// CacheOff disables the cross-iteration similarity cache: every
+	// (sequence, cluster) pair is re-scored on every reclustering pass.
+	// The cache is exact — entries are stamped with the cluster tree's
+	// version (see pst.Tree.Version) and any tree mutation invalidates
+	// them — so this switch exists for benchmarking the cache's effect,
+	// not for correctness.
+	CacheOff bool
 	// KeepTrees attaches each final cluster's probabilistic suffix tree
 	// to its ClusterInfo, so callers can classify new sequences against
 	// the discovered clusters (tree.Similarity) or persist the models
@@ -247,6 +258,14 @@ type IterationTrace struct {
 	Threshold       float64
 	ValleyEstimate  float64 // t̂ of §4.6 (0 when no valley was found)
 	Unclustered     int
+	// CacheHits counts (sequence, cluster) pairs whose similarity was
+	// reused from an earlier iteration because the cluster's tree had
+	// not changed; CacheMisses counts the SimilarityFast evaluations the
+	// pass actually performed (scoring phase plus apply-phase re-scores
+	// after intra-pass tree inserts). Hits + misses can fall short of
+	// sequences × clusters: empty sequences are skipped.
+	CacheHits   int
+	CacheMisses int
 }
 
 // Result is the outcome of a clustering run.

@@ -5,7 +5,6 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"cluseq/internal/pst"
@@ -20,6 +19,21 @@ type cluster struct {
 	// members is the set of database indices currently in the cluster,
 	// rebuilt by every reclustering pass.
 	members map[int]bool
+	// cache holds, per database index, the last similarity computed
+	// against this cluster's tree, stamped with the tree version it was
+	// computed at (see simCacheEntry). Allocated on first scoring.
+	cache []simCacheEntry
+}
+
+// simCacheEntry is one slot of a cluster's similarity cache. The entry
+// is valid exactly while version equals the cluster tree's current
+// pst.Tree.Version: tree versions start at 1 and strictly increase on
+// every mutation, so the zero-valued entry never matches and any insert
+// or prune invalidates the whole cluster's column implicitly, with no
+// eviction bookkeeping.
+type simCacheEntry struct {
+	version uint64
+	sim     pst.Similarity
 }
 
 // engine carries the mutable state of one clustering run.
@@ -33,6 +47,15 @@ type engine struct {
 	logT     float64
 	tStable  bool // §4.6: t and t̂ within 1%, stop adjusting
 	tMoved   bool // t changed during the current iteration
+
+	// pool serves every parallel phase of the run; nil when Workers=1.
+	pool *workerPool
+	// cacheHits counts (sequence, cluster) pairs whose similarity was
+	// still valid from an earlier pass; cacheMisses counts actual
+	// SimilarityFast evaluations. Reset per reclustering pass, atomic
+	// because the scoring phase updates them from pool workers.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 
 	// growth-factor bookkeeping (§4.1).
 	prevNew        int
@@ -107,6 +130,10 @@ func (e *engine) unclusteredIndices() []int {
 
 // run executes the outer loop of Figure 2.
 func (e *engine) run() (*Result, error) {
+	if w := e.workers(); w > 1 {
+		e.pool = newWorkerPool(w - 1)
+		defer e.pool.close()
+	}
 	res := &Result{n: e.db.Len()}
 	prevMembership := e.membershipOf()
 	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
@@ -121,6 +148,8 @@ func (e *engine) run() (*Result, error) {
 		// 2. Sequence reclustering (§4.2-4.4), collecting every
 		// sequence-cluster log-similarity for the §4.6 histogram.
 		logSims := e.recluster()
+		trace.CacheHits = int(e.cacheHits.Load())
+		trace.CacheMisses = int(e.cacheMisses.Load())
 
 		// 3. Cluster consolidation (§4.5).
 		eliminated := e.consolidate()
@@ -227,19 +256,24 @@ func (e *engine) refine() {
 				tree.Insert(e.db.Sequences[m].Symbols[segs[i][0]:segs[i][1]])
 			}
 			c.tree = tree
+			// Version stamps identify states of one tree only; swapping
+			// in a rebuilt tree (whose counter restarts) could collide
+			// with stale stamps, so the cache must go with the old tree.
+			c.cache = nil
 		}
 		// Pure reassignment: no incremental insertion, so membership
-		// reflects exactly the rebuilt statistics.
-		sims := make([]pst.Similarity, len(e.clusters))
+		// reflects exactly the rebuilt statistics. The rebuilt trees
+		// carry fresh versions, so the scoring phase recomputes every
+		// pair; membership application never mutates a tree, so the
+		// cached entries stay valid throughout the serial loop.
+		e.scoreClusters()
 		for si, s := range e.db.Sequences {
 			if len(s.Symbols) == 0 {
 				continue
 			}
-			e.forEachWorker(len(e.clusters), func(ci int) {
-				sims[ci] = e.clusters[ci].tree.SimilarityFast(s.Symbols, e.background)
-			})
-			for ci, c := range e.clusters {
-				if e.normalizedLogSim(sims[ci], len(s.Symbols)) >= e.logT {
+			for _, c := range e.clusters {
+				sim := e.cachedSim(c, si, s.Symbols, false)
+				if e.normalizedLogSim(sim, len(s.Symbols)) >= e.logT {
 					c.members[si] = true
 				} else {
 					delete(c.members, si)
@@ -307,7 +341,7 @@ func (e *engine) newClusterBudget(iter int) int {
 		// not block termination, since created == eliminated.
 		return 1
 	}
-	f := float64(maxInt(e.prevNew-e.prevEliminated, 0)) / float64(e.prevNew)
+	f := float64(max(e.prevNew-e.prevEliminated, 0)) / float64(e.prevNew)
 	budget := int(float64(len(e.clusters))*f + 0.5)
 	if budget == 0 {
 		budget = 1
@@ -406,24 +440,80 @@ func (e *engine) normalizedLogSim(sim pst.Similarity, seqLen int) float64 {
 	return sim.LogSim / float64(seqLen)
 }
 
-// recluster runs one §4.2 pass: every sequence is scored against every
-// cluster; it joins those with similarity ≥ t, and each joined cluster's
-// tree absorbs the best-scoring segment. Returns all (normalized)
-// log-similarities for the threshold histogram.
+// scoreClusters is the parallel scoring phase: it fans sequences out
+// across the worker pool (sequence-major — each worker owns a sequence
+// and walks every cluster, amortizing the fork/join over the whole
+// database instead of paying it per sequence) and ensures every live
+// cluster's similarity cache holds an entry stamped with the cluster
+// tree's current version. Trees are strictly read-only here (see the
+// pst.Tree concurrency contract) and each worker writes only its own
+// sequence's cache slots, so the phase is race-free and its results are
+// independent of worker count and scheduling.
+//
+// Pairs whose cluster tree is unchanged since an earlier pass keep
+// their cached value untouched — the cross-iteration cache hit that
+// makes late, nearly-converged iterations almost free. CacheOff
+// forfeits that by clearing every cache up front.
+func (e *engine) scoreClusters() {
+	if len(e.clusters) == 0 {
+		return
+	}
+	for _, c := range e.clusters {
+		if c.cache == nil || e.cfg.CacheOff {
+			c.cache = make([]simCacheEntry, e.db.Len())
+		}
+	}
+	e.forEachWorker(e.db.Len(), func(si int) {
+		s := e.db.Sequences[si]
+		if len(s.Symbols) == 0 {
+			return
+		}
+		for _, c := range e.clusters {
+			e.cachedSim(c, si, s.Symbols, true)
+		}
+	})
+}
+
+// cachedSim returns the similarity of sequence si to cluster c, reusing
+// the cache entry when it matches the tree's current version and
+// re-scoring (and restamping) it otherwise. countHit attributes a valid
+// entry to the hit counter — set by the scoring phase, where a hit means
+// a pair carried over from a previous iteration; the serial apply phase
+// passes false, since there a valid entry is normally just the scoring
+// phase's own work being read back.
+func (e *engine) cachedSim(c *cluster, si int, syms []seq.Symbol, countHit bool) pst.Similarity {
+	ent := &c.cache[si]
+	if v := c.tree.Version(); ent.version != v {
+		ent.sim = c.tree.SimilarityFast(syms, e.background)
+		ent.version = v
+		e.cacheMisses.Add(1)
+	} else if countHit {
+		e.cacheHits.Add(1)
+	}
+	return ent.sim
+}
+
+// recluster runs one §4.2 pass in two phases: the parallel scoring
+// phase above, then a serial apply phase that examines sequences in the
+// exact §6.3 order, joining clusters and inserting best segments. A
+// join mutates the cluster's tree and bumps its version, so the apply
+// phase's cachedSim transparently re-scores later sequences against
+// that cluster — the results are bit-identical to a fully serial pass
+// at any worker count. Returns all (normalized) log-similarities for
+// the threshold histogram.
 func (e *engine) recluster() []float64 {
+	e.cacheHits.Store(0)
+	e.cacheMisses.Store(0)
+	e.scoreClusters()
 	order := e.sequenceOrder()
-	logSims := make([]float64, 0, len(order)*maxInt(len(e.clusters), 1))
-	sims := make([]pst.Similarity, len(e.clusters))
+	logSims := make([]float64, 0, len(order)*max(len(e.clusters), 1))
 	for _, si := range order {
 		s := e.db.Sequences[si]
 		if len(s.Symbols) == 0 {
 			continue
 		}
-		e.forEachWorker(len(e.clusters), func(ci int) {
-			sims[ci] = e.clusters[ci].tree.SimilarityFast(s.Symbols, e.background)
-		})
-		for ci, c := range e.clusters {
-			sim := sims[ci]
+		for _, c := range e.clusters {
+			sim := e.cachedSim(c, si, s.Symbols, false)
 			norm := e.normalizedLogSim(sim, len(s.Symbols))
 			// The seed's similarity to its own tree is a memorization
 			// artifact (the whole sequence was inserted), far above any
@@ -589,43 +679,24 @@ func (e *engine) mergeInto(c *cluster, later []int, dismissed []bool) {
 	}
 }
 
-// forEachWorker runs fn(i) for i in [0, n), in parallel when the
-// configuration allows and n is large enough to pay for it.
+// workers resolves the configured parallelism: Config.Workers, or
+// GOMAXPROCS when it is zero.
+func (e *engine) workers() int {
+	if e.cfg.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.cfg.Workers
+}
+
+// forEachWorker runs fn(i) for i in [0, n), on the run's persistent
+// worker pool when one exists and n is large enough to pay for the
+// dispatch, serially otherwise.
 func (e *engine) forEachWorker(n int, fn func(i int)) {
-	workers := e.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 4 {
+	if e.pool == nil || n < 4 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	e.pool.run(n, fn)
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is a fixed set of long-lived goroutines serving every
+// parallel phase of one engine run — the sequence-major scoring pass,
+// seed-candidate scoring, refinement rebuilds, and primary assignment
+// all dispatch onto the same pool, so a run pays goroutine startup once
+// instead of a fork/join per phase (previously per sequence).
+//
+// Work is handed out as index batches: run(n, fn) invokes fn(i) for
+// every i in [0, n) with dynamic (work-stealing) index assignment, which
+// keeps workers busy when per-index cost is skewed (long sequences,
+// large trees). The calling goroutine participates as a worker, so a
+// pool of size w-1 yields w-way parallelism with no idle coordinator.
+//
+// Batches must not be issued concurrently or nested: the engine's outer
+// loop is serial and each parallel phase runs to completion before the
+// next starts, which is also what makes the pool's lack of per-batch
+// identity safe.
+type workerPool struct {
+	size  int
+	batch chan *poolBatch
+}
+
+type poolBatch struct {
+	n    int
+	fn   func(i int)
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// work drains indices from the batch until none remain.
+func (b *poolBatch) work() {
+	defer b.wg.Done()
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= b.n {
+			return
+		}
+		b.fn(i)
+	}
+}
+
+// newWorkerPool starts size worker goroutines. They idle on a channel
+// until run hands them a batch, and exit when close is called.
+func newWorkerPool(size int) *workerPool {
+	p := &workerPool{size: size, batch: make(chan *poolBatch)}
+	for w := 0; w < size; w++ {
+		go func() {
+			for b := range p.batch {
+				b.work()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(0) … fn(n−1) across the pool plus the calling
+// goroutine and returns when every index is done.
+func (p *workerPool) run(n int, fn func(i int)) {
+	b := &poolBatch{n: n, fn: fn}
+	b.wg.Add(p.size + 1)
+	for w := 0; w < p.size; w++ {
+		p.batch <- b
+	}
+	b.work()
+	b.wg.Wait()
+}
+
+// close terminates the pool's goroutines. The pool must be idle.
+func (p *workerPool) close() { close(p.batch) }

@@ -131,3 +131,18 @@ func (f *Figure6) Table() (string, []string, [][]string) {
 	return fmt.Sprintf("Figure 6 (%s axis): scalability (scale=%s)", f.Axis, f.Scale),
 		[]string{f.Axis, "response_time", "accuracy"}, rows
 }
+
+// Table returns the reclustering benchmark contents.
+func (r *ReclusterBench) Table() (string, []string, [][]string) {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cache := "on"
+		if row.CacheOff {
+			cache = "off"
+		}
+		rows[i] = []string{itoa(row.Workers), cache, itoa(row.Iterations),
+			itoa(row.CacheHits), itoa(row.CacheMisses), pct(row.Accuracy), secs(row.Elapsed)}
+	}
+	return fmt.Sprintf("Recluster benchmark: similarity cache × workers (scale=%s)", r.Scale),
+		[]string{"workers", "cache", "iterations", "cache_hits", "cache_misses", "accuracy", "time"}, rows
+}

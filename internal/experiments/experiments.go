@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -48,6 +49,10 @@ func ParseScale(s string) (Scale, error) {
 	}
 	return 0, fmt.Errorf("experiments: unknown scale %q (tiny|small|paper)", s)
 }
+
+// MarshalJSON renders the scale by name, for the JSON perf records
+// written by cmd/experiments.
+func (s Scale) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
 func (s Scale) String() string {
 	switch s {

@@ -35,6 +35,7 @@ func (t *Tree) Merge(other *Tree) error {
 	rec(t.root, other.root)
 	t.insertions += other.insertions
 	t.pruned += other.pruned
+	t.version++
 	if t.maxNodes > 0 && t.numNodes > t.maxNodes {
 		t.pruneTo(t.maxNodes * 9 / 10)
 	}
@@ -67,6 +68,7 @@ func (t *Tree) InsertCounts(context []seq.Symbol, next seq.Symbol, times int64) 
 	if hasNext {
 		t.insertions += times
 	}
+	t.version++
 	if t.maxNodes > 0 && t.numNodes > t.maxNodes {
 		t.pruneTo(t.maxNodes * 9 / 10)
 	}

@@ -81,6 +81,7 @@ func (t *Tree) pruneTo(target int) {
 	if target < 1 {
 		target = 1
 	}
+	t.version++
 	h := &pruneHeap{}
 	t.Walk(func(n *Node) bool {
 		if n != t.root && len(n.children) == 0 {

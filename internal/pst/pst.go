@@ -156,12 +156,32 @@ func (n *Node) Label() []seq.Symbol {
 // NextCount returns the occurrence count of context·s.
 func (n *Node) NextCount(s seq.Symbol) int64 { return n.next[s] }
 
-// Tree is a probabilistic suffix tree. It is not safe for concurrent
-// mutation; concurrent reads are safe once construction settles.
+// Tree is a probabilistic suffix tree.
+//
+// # Concurrency
+//
+// A Tree is not safe for concurrent mutation. The read-only methods —
+// Similarity, SimilarityFast, Predict, PredictionNode, Lookup, Walk,
+// Stats, Version, and friends — may be called from any number of
+// goroutines simultaneously, provided no mutating method (Insert,
+// InsertCounts, Merge, Prune) runs concurrently with them. This
+// read-only contract is what the clustering engine's parallel scoring
+// phase relies on: cluster trees are frozen while workers score
+// sequences against them, and all tree updates happen in a serial apply
+// phase. (The background-log memoization inside the similarity scans is
+// guarded by an internal mutex and does not break the contract.)
+//
+// Version exposes a monotonic mutation counter so callers can detect,
+// cheaply and exactly, whether a tree changed between two observations —
+// the key the engine's similarity cache is stamped with.
 type Tree struct {
 	cfg      Config
 	root     *Node
 	numNodes int
+
+	// version counts mutations; see Version. It starts at 1 so that a
+	// zero-valued cache stamp can never match a live tree.
+	version uint64
 
 	nodeBytes int // estimated bytes per node, for the memory budget
 	maxNodes  int // 0 = unlimited
@@ -189,6 +209,7 @@ func New(cfg Config) (*Tree, error) {
 	t := &Tree{
 		cfg:        cfg,
 		root:       &Node{next: make([]int64, cfg.AlphabetSize)},
+		version:    1,
 		linksValid: true,
 	}
 	t.numNodes = 1
@@ -228,6 +249,16 @@ func (t *Tree) EstimatedBytes() int { return t.numNodes * t.nodeBytes }
 
 // PrunedNodes returns how many nodes have been evicted by the memory cap.
 func (t *Tree) PrunedNodes() int64 { return t.pruned }
+
+// Version returns the tree's mutation counter. It starts at 1 for a
+// fresh tree and strictly increases on every mutating operation
+// (Insert, InsertCounts, Merge, and pruning, whether triggered by the
+// memory cap or by Prune). Two equal Version readings bracket a span in
+// which the tree's statistics did not change, so any value derived from
+// the tree in between — a Similarity, a Predict result — is still
+// exact. The clustering engine keys its (cluster, sequence) similarity
+// cache on this counter.
+func (t *Tree) Version() uint64 { return t.version }
 
 // TotalSymbols returns the total number of symbols inserted.
 func (t *Tree) TotalSymbols() int64 { return t.insertions }
@@ -293,6 +324,7 @@ func (t *Tree) Insert(segment []seq.Symbol) {
 		n.Count++
 	}
 	t.insertions += int64(l)
+	t.version++
 	if t.maxNodes > 0 && t.numNodes > t.maxNodes {
 		t.pruneTo(t.maxNodes * 9 / 10)
 	}

@@ -1,0 +1,84 @@
+package pst
+
+import (
+	"testing"
+
+	"cluseq/internal/seq"
+)
+
+// The engine's similarity cache is stamped with Tree.Version, so its
+// exactness reduces to one property: every mutation strictly increases
+// the counter, and nothing else changes it.
+func TestVersionStrictlyIncreases(t *testing.T) {
+	tree := MustNew(Config{AlphabetSize: 4, MaxDepth: 3, Significance: 2})
+	if got := tree.Version(); got != 1 {
+		t.Fatalf("fresh tree Version() = %d, want 1 (zero stamps must never match)", got)
+	}
+
+	last := tree.Version()
+	step := func(op string, mutate func()) {
+		t.Helper()
+		mutate()
+		if v := tree.Version(); v <= last {
+			t.Fatalf("after %s: Version() = %d, want > %d", op, v, last)
+		} else {
+			last = v
+		}
+	}
+
+	step("Insert", func() { tree.Insert([]seq.Symbol{0, 1, 2, 3, 0, 1}) })
+	step("Insert", func() { tree.Insert([]seq.Symbol{2, 2, 1}) })
+	step("InsertCounts", func() {
+		if err := tree.InsertCounts([]seq.Symbol{1, 2}, 3, 5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("Merge", func() {
+		other := MustNew(Config{AlphabetSize: 4, MaxDepth: 3, Significance: 2})
+		other.Insert([]seq.Symbol{3, 3, 0})
+		if err := tree.Merge(other); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("Prune", func() {
+		if tree.NumNodes() < 3 {
+			t.Fatalf("tree too small to prune: %d nodes", tree.NumNodes())
+		}
+		tree.Prune(tree.NumNodes() - 1)
+	})
+
+	// Reads and no-op inserts leave the counter alone: a version change
+	// must imply a statistics change.
+	before := tree.Version()
+	tree.Insert(nil)
+	tree.Stats()
+	tree.Predict([]seq.Symbol{0, 1}, 2)
+	if v := tree.Version(); v != before {
+		t.Fatalf("non-mutating operations moved Version() from %d to %d", before, v)
+	}
+}
+
+// The memory cap triggers pruning from inside Insert; the version must
+// advance past both the insert and the prune so cached similarities
+// against the pre-prune tree can never be mistaken for current.
+func TestVersionAdvancesOnCapPrune(t *testing.T) {
+	tree := MustNew(Config{AlphabetSize: 8, MaxDepth: 6, Significance: 2, MaxBytes: 4096})
+	last := tree.Version()
+	pruned := false
+	for i := 0; i < 64 && !pruned; i++ {
+		syms := make([]seq.Symbol, 32)
+		for j := range syms {
+			syms[j] = seq.Symbol((i*7 + j*13) % 8)
+		}
+		tree.Insert(syms)
+		if v := tree.Version(); v <= last {
+			t.Fatalf("insert %d: Version() = %d, want > %d", i, v, last)
+		} else {
+			last = v
+		}
+		pruned = tree.PrunedNodes() > 0
+	}
+	if !pruned {
+		t.Fatal("memory cap never triggered pruning; test needs a smaller MaxBytes")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode"
 )
 
 // The on-disk format is a FASTA-like plain text format:
@@ -26,7 +27,11 @@ import (
 // line-structural characters '#' or '>' (or whitespace) cannot round-trip
 // through the text format and are rejected.
 func Write(w io.Writer, db *Database) error {
-	if strings.ContainsAny(db.Alphabet.String(), "#> \t\r\n") {
+	// The parser trims every Unicode space (TrimSpace), not just ASCII
+	// blanks, so any IsSpace rune in the alphabet would silently change
+	// meaning on re-read; refuse them all.
+	if strings.ContainsAny(db.Alphabet.String(), "#>") ||
+		strings.IndexFunc(db.Alphabet.String(), unicode.IsSpace) >= 0 {
 		return fmt.Errorf("seq: alphabet %q contains '#', '>' or whitespace, which the text format cannot represent", db.Alphabet.String())
 	}
 	bw := bufio.NewWriter(w)
@@ -34,7 +39,7 @@ func Write(w io.Writer, db *Database) error {
 		return err
 	}
 	for _, s := range db.Sequences {
-		if strings.ContainsAny(s.ID, " \t\n") || strings.ContainsAny(s.Label, "\t\n") {
+		if strings.IndexFunc(s.ID, unicode.IsSpace) >= 0 || strings.IndexFunc(s.Label, unicode.IsSpace) >= 0 {
 			return fmt.Errorf("seq: sequence %q: IDs and labels must not contain whitespace", s.ID)
 		}
 		if s.Label != "" {
