@@ -30,7 +30,9 @@ import (
 	"cluseq/internal/core"
 	"cluseq/internal/eval"
 	"cluseq/internal/pst"
+	"cluseq/internal/registry"
 	"cluseq/internal/seq"
+	"cluseq/internal/server"
 )
 
 // Core data types, re-exported from internal/seq.
@@ -146,6 +148,47 @@ func NewClassifier(db *Database, res *Result, opts Options) (*Classifier, error)
 // LoadClassifier reads a model bundle previously written with
 // Classifier.Save.
 func LoadClassifier(r io.Reader) (*Classifier, error) { return core.LoadClassifier(r) }
+
+// ModelInfo summarizes a classifier's parameters and per-cluster trees
+// (see Classifier.Info).
+type ModelInfo = core.ModelInfo
+
+// Serving types, re-exported from internal/registry and internal/server
+// for the cluseqd daemon and for users embedding the serving layer.
+type (
+	// ModelRegistry holds named classifier models loaded from a bundle
+	// directory and hot-reloads them without disturbing in-flight
+	// readers.
+	ModelRegistry = registry.Registry
+	// Model is one loaded classifier bundle.
+	Model = registry.Model
+	// ReloadReport describes the outcome of one registry reload pass.
+	ReloadReport = registry.Report
+	// Server routes the cluseqd HTTP API over a model registry.
+	Server = server.Server
+	// ServerConfig parameterizes NewServer.
+	ServerConfig = server.Config
+	// ClassifyRequest is the body of POST /v1/classify.
+	ClassifyRequest = server.ClassifyRequest
+	// ClassifyResponse answers POST /v1/classify.
+	ClassifyResponse = server.ClassifyResponse
+	// ClassifyResult is one sequence's outcome within a ClassifyResponse.
+	ClassifyResult = server.ClassifyResult
+)
+
+// ModelBundleExt is the filename extension the registry requires of a
+// model bundle.
+const ModelBundleExt = registry.Ext
+
+// OpenModelRegistry scans dir and loads every model bundle in it. The
+// report lists what loaded and what failed; the call errors only when
+// the directory itself is unreadable.
+func OpenModelRegistry(dir string) (*ModelRegistry, ReloadReport, error) {
+	return registry.Open(dir)
+}
+
+// NewServer returns the serving daemon's HTTP layer over a registry.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Evaluate scores a clustering result against ground-truth labels
 // (labels[i] belongs to database sequence i; empty labels mark outliers,

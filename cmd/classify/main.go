@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	classify -model model.cluseq [input-file]
+//	classify -model model.cluseq [-workers N] [input-file]
 //
 // The input is the FASTA-like text format (standard input when no file is
 // given). One line per sequence is printed: the sequence ID, its assigned
 // cluster (or "outlier"), the per-symbol similarity, and any additional
-// cluster memberships.
+// cluster memberships. Classification parallelizes across -workers; the
+// output order always matches the input order.
 package main
 
 import (
@@ -16,8 +17,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"cluseq"
+	"cluseq/internal/pool"
 )
 
 func main() {
@@ -28,6 +31,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	modelPath := fs.String("model", "", "model bundle written by cluseq -model (required)")
+	workers := fs.Int("workers", 0, "classification workers (0 = all CPUs, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,9 +68,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Classify in parallel into an index-aligned slice, then print in
+	// input order: the output is identical for any worker count.
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	assignments := make([]cluseq.Assignment, db.Len())
+	pool.New(w-1).Run(db.Len(), func(i int) {
+		assignments[i] = clf.Classify(db.Sequences[i].Symbols)
+	})
+
 	outliers := 0
-	for _, s := range db.Sequences {
-		a := clf.Classify(s.Symbols)
+	for i, s := range db.Sequences {
+		a := assignments[i]
 		switch {
 		case a.Cluster == -1:
 			outliers++

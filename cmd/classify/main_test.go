@@ -73,6 +73,34 @@ func TestClassifyEndToEnd(t *testing.T) {
 	}
 }
 
+// TestClassifyWorkersDeterministic verifies that the -workers flag
+// changes only the parallelism, never the output: serial and
+// maximally-parallel runs must print byte-identical lines in input order.
+func TestClassifyWorkersDeterministic(t *testing.T) {
+	model, db := trainModel(t)
+	var input strings.Builder
+	if err := cluseq.WriteDatabase(&input, db); err != nil {
+		t.Fatal(err)
+	}
+	outputs := make([]string, 2)
+	for i, w := range []string{"1", "8"} {
+		var out, errOut strings.Builder
+		code := run([]string{"-model", model, "-workers", w},
+			strings.NewReader(input.String()), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d: %s", w, code, errOut.String())
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("output differs between -workers 1 and -workers 8:\n--- serial ---\n%s--- parallel ---\n%s",
+			outputs[0], outputs[1])
+	}
+	if got := strings.Count(outputs[0], "\n"); got != db.Len() {
+		t.Fatalf("got %d output lines, want %d", got, db.Len())
+	}
+}
+
 func TestClassifyErrors(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(nil, strings.NewReader(""), &out, &errOut); code != 2 {

@@ -1,0 +1,130 @@
+// Command cluseqd is the CLUSEQ serving daemon: it loads trained model
+// bundles (written by cluseq -model) from a directory and classifies
+// sequences against them over HTTP, with atomic hot reload of retrained
+// bundles and graceful drain on shutdown.
+//
+// Usage:
+//
+//	cluseqd -models DIR [-addr :8080] [-timeout 30s] [-max-batch 1024]
+//	        [-workers N] [-drain 10s] [-v]
+//
+// Endpoints (see internal/server for the full contract):
+//
+//	POST /v1/classify       {"model":"name","sequence":"acgt"} or
+//	                        {"model":"name","sequences":["acgt",...]}
+//	GET  /v1/models         loaded models with parameters and tree sizes
+//	POST /v1/models/reload  rescan the model directory
+//	GET  /healthz, /readyz  liveness and readiness
+//	GET  /metrics           request/error/latency/outlier counters
+//
+// On SIGINT or SIGTERM the daemon stops accepting connections and gives
+// in-flight requests up to -drain to complete before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cluseq"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stderr, sig, nil))
+}
+
+// run is main minus process concerns: signals arrive on sig, and the
+// bound listen address is announced on ready (when non-nil) so tests can
+// drive a daemon on port 0.
+func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- string) int {
+	fs := flag.NewFlagSet("cluseqd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		models   = fs.String("models", "", "directory of *"+cluseq.ModelBundleExt+" model bundles (required)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request timeout (0 = none)")
+		maxBatch = fs.Int("max-batch", 1024, "maximum sequences per classify request")
+		workers  = fs.Int("workers", 0, "classification parallelism shared across requests (0 = all CPUs)")
+		drain    = fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight requests")
+		verbose  = fs.Bool("v", false, "log per-request refusals and reloads")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *models == "" || fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "usage: cluseqd -models DIR [flags]")
+		return 2
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	}
+	reg, rep, err := cluseq.OpenModelRegistry(*models)
+	if err != nil {
+		fmt.Fprintln(stderr, "cluseqd:", err)
+		return 1
+	}
+	for name, msg := range rep.Failed {
+		logf("cluseqd: model %s failed to load: %s", name, msg)
+	}
+	logf("cluseqd: %d models loaded from %s", reg.Len(), *models)
+
+	scfg := cluseq.ServerConfig{
+		Registry: reg,
+		MaxBatch: *maxBatch,
+		Workers:  *workers,
+		Timeout:  *timeout,
+	}
+	if *verbose {
+		scfg.Logf = logf
+	}
+	srv, err := cluseq.NewServer(scfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "cluseqd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "cluseqd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logf("cluseqd: listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "cluseqd:", err)
+		return 1
+	case s := <-sig:
+		logf("cluseqd: %v received, draining for up to %v", s, *drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		// Drain deadline expired with requests still in flight.
+		httpSrv.Close()
+		fmt.Fprintln(stderr, "cluseqd: forced shutdown:", err)
+		return 1
+	}
+	logf("cluseqd: drained cleanly")
+	return 0
+}

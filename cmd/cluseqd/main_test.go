@@ -1,0 +1,313 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cluseq"
+	"cluseq/internal/datagen"
+)
+
+// trainBundle runs the full CLUSEQ pipeline on a synthetic workload and
+// writes the resulting classifier bundle — the same artifact
+// `cluseq -model` produces — to path. Some seeds converge to an empty
+// clustering (nothing to serve), so it walks derived seeds until one
+// yields clusters.
+func trainBundle(t *testing.T, path string, seed uint64) {
+	t.Helper()
+	var clf *cluseq.Classifier
+	for attempt := uint64(0); attempt < 8; attempt++ {
+		s := seed + 1000*attempt
+		db, err := datagen.SyntheticDB(datagen.SyntheticConfig{
+			NumSequences: 120,
+			AvgLength:    90,
+			AlphabetSize: 10,
+			NumClusters:  3,
+			Seed:         s,
+		})
+		if err != nil {
+			t.Fatalf("SyntheticDB: %v", err)
+		}
+		opts := cluseq.Options{KeepTrees: true, Seed: s}
+		res, err := cluseq.Cluster(db, opts)
+		if err != nil {
+			t.Fatalf("Cluster: %v", err)
+		}
+		if len(res.Clusters) == 0 {
+			continue
+		}
+		clf, err = cluseq.NewClassifier(db, res, opts)
+		if err != nil {
+			t.Fatalf("NewClassifier: %v", err)
+		}
+		break
+	}
+	if clf == nil {
+		t.Fatalf("no seed derived from %d produced a non-empty clustering", seed)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+}
+
+// startDaemon launches run() on an ephemeral port and returns the base
+// URL, the signal channel that stops it, and a channel carrying its exit
+// code.
+func startDaemon(t *testing.T, extraArgs ...string) (base string, sig chan os.Signal, done chan int, logs *bytes.Buffer) {
+	t.Helper()
+	sig = make(chan os.Signal, 1)
+	done = make(chan int, 1)
+	ready := make(chan string, 1)
+	logs = &bytes.Buffer{}
+	var mu sync.Mutex
+	w := lockedWriter{mu: &mu, buf: logs}
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(args, w, sig, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sig, done, logs
+	case code := <-done:
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("daemon exited early with code %d: %s", code, logs.String())
+		return "", nil, nil, nil
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not become ready")
+		return "", nil, nil, nil
+	}
+}
+
+type lockedWriter struct {
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+// TestDaemonEndToEnd exercises the full serving path: train a model,
+// start the daemon on its directory, classify a batch over HTTP,
+// hot-reload a retrained bundle without a single failed request, and
+// scrape non-zero throughput/latency metrics.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "synth"+cluseq.ModelBundleExt)
+	trainBundle(t, bundle, 7)
+
+	base, sig, done, logs := startDaemon(t, "-models", dir, "-drain", "5s", "-v")
+
+	// Readiness and the model listing.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", resp.StatusCode)
+	}
+
+	// Pull the model's alphabet from the listing so the test sequences
+	// are valid regardless of which runes the generator picked.
+	resp, err = http.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatalf("GET /v1/models: %v", err)
+	}
+	var listing struct {
+		Models []struct {
+			Name string `json:"name"`
+			Info struct {
+				Alphabet string `json:"alphabet"`
+			} `json:"info"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatalf("models decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(listing.Models) != 1 || listing.Models[0].Name != "synth" {
+		t.Fatalf("models listing = %+v, want one model synth", listing.Models)
+	}
+	alpha := []rune(listing.Models[0].Info.Alphabet)
+	if len(alpha) < 3 {
+		t.Fatalf("alphabet %q too small", listing.Models[0].Info.Alphabet)
+	}
+	tri := string([]rune{alpha[0], alpha[1], alpha[2]})
+	probe := strings.Repeat(tri, 4)
+
+	resp, body := postJSON(t, base+"/v1/classify", map[string]any{
+		"model": "synth",
+		"sequences": []string{
+			probe,
+			strings.Repeat(string(alpha[2]), 12),
+			strings.Repeat(string(alpha[0])+string(alpha[1]), 6),
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify = %d: %s", resp.StatusCode, body)
+	}
+	var cr cluseq.ClassifyResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatalf("classify response: %v", err)
+	}
+	if len(cr.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(cr.Results))
+	}
+	for i, r := range cr.Results {
+		if r.Error != "" {
+			t.Fatalf("result %d errored: %s", i, r.Error)
+		}
+	}
+
+	// Hot reload under fire: classify continuously while a retrained
+	// bundle replaces the file on disk and /v1/models/reload swaps it in.
+	// No request may fail at any point.
+	stop := make(chan struct{})
+	classifyErr := make(chan error, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw, _ := json.Marshal(map[string]any{"model": "synth", "sequence": probe})
+				resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					classifyErr <- err
+					return
+				}
+				var out bytes.Buffer
+				out.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					classifyErr <- fmt.Errorf("classify during reload = %d: %s", resp.StatusCode, out.String())
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		trainBundle(t, bundle, uint64(100+i))
+		// Bump the mtime so the registry's size+mtime fingerprint always
+		// registers the rewrite, even on coarse filesystem clocks.
+		future := time.Now().Add(time.Duration(i+1) * time.Second)
+		if err := os.Chtimes(bundle, future, future); err != nil {
+			t.Fatalf("Chtimes: %v", err)
+		}
+		resp, body := postJSON(t, base+"/v1/models/reload", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload = %d: %s", resp.StatusCode, body)
+		}
+		var rep cluseq.ReloadReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatalf("reload report: %v", err)
+		}
+		if len(rep.Failed) != 0 {
+			t.Fatalf("reload %d failed models: %v", i, rep.Failed)
+		}
+		if len(rep.Loaded) != 1 || rep.Loaded[0] != "synth" {
+			t.Fatalf("reload %d loaded %v, want [synth]", i, rep.Loaded)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-classifyErr:
+		t.Fatalf("request failed during hot reload: %v", err)
+	default:
+	}
+
+	// Metrics must show real traffic: requests, sequences, latency.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var metrics struct {
+		Requests       map[string]int64 `json:"requests"`
+		SequencesTotal int64            `json:"sequences_total"`
+		Latency        struct {
+			Count int64   `json:"count"`
+			P50   float64 `json:"p50"`
+		} `json:"latency_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	resp.Body.Close()
+	if metrics.Requests["classify"] < 4 {
+		t.Errorf("classify requests = %d, want ≥ 4", metrics.Requests["classify"])
+	}
+	if metrics.Requests["reload"] != 5 {
+		t.Errorf("reload requests = %d, want 5", metrics.Requests["reload"])
+	}
+	if metrics.SequencesTotal < 7 {
+		t.Errorf("sequences_total = %d, want ≥ 7", metrics.SequencesTotal)
+	}
+	if metrics.Latency.Count < 4 {
+		t.Errorf("latency count = %d, want ≥ 4", metrics.Latency.Count)
+	}
+
+	// Graceful shutdown: SIGINT drains and run returns 0.
+	sig <- os.Interrupt
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exit code %d: %s", code, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestDaemonUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run(nil, &buf, nil, nil); code != 2 {
+		t.Fatalf("run with no -models = %d, want 2", code)
+	}
+	if !strings.Contains(buf.String(), "usage:") {
+		t.Fatalf("missing usage line: %s", buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-models", filepath.Join(t.TempDir(), "nope")}, &buf, nil, nil); code != 1 {
+		t.Fatalf("run with missing dir = %d, want 1", code)
+	}
+}

@@ -16,17 +16,28 @@ import (
 // wraps the kept cluster trees, the background distribution, and the
 // final similarity threshold, so the membership rule applied to new data
 // is exactly the one the clustering converged to.
+//
+// A Classifier is immutable after construction: Classify and every
+// accessor may be called from any number of goroutines concurrently
+// (the cluster trees are only read, which pst.Tree permits — see the
+// concurrency note on pst.Tree). The serving daemon relies on this to
+// share one Classifier across all in-flight requests.
 type Classifier struct {
 	trees      []*pst.Tree
 	background []float64
 	logT       float64
 	raw        bool
+	// alphabet is the training database's rune↔symbol mapping, carried so
+	// that raw strings can be classified without the original database.
+	// Nil for bundles saved before format v2; such classifiers accept
+	// only pre-encoded symbol slices.
+	alphabet *seq.Alphabet
 }
 
 // NewClassifier builds a classifier from a clustering result. The result
 // must come from a run with Config.KeepTrees set, and db must be the
 // database that was clustered (its symbol frequencies are the similarity
-// background).
+// background and its alphabet encodes future inputs).
 func NewClassifier(db *seq.Database, res *Result, cfg Config) (*Classifier, error) {
 	if db == nil || res == nil {
 		return nil, fmt.Errorf("core: NewClassifier needs a database and a result")
@@ -38,6 +49,7 @@ func NewClassifier(db *seq.Database, res *Result, cfg Config) (*Classifier, erro
 		background: db.SymbolFrequencies(),
 		logT:       math.Log(res.FinalThreshold),
 		raw:        cfg.RawSimilarity,
+		alphabet:   db.Alphabet,
 	}
 	for _, cl := range res.Clusters {
 		if cl.Tree == nil {
@@ -90,17 +102,103 @@ func (c *Classifier) Classify(symbols []seq.Symbol) Assignment {
 	return out
 }
 
+// ClassifyString encodes raw under the classifier's alphabet and
+// classifies it. It fails when the bundle carries no alphabet (format v1)
+// or when raw contains a rune outside the training alphabet.
+func (c *Classifier) ClassifyString(raw string) (Assignment, error) {
+	if c.alphabet == nil {
+		return Assignment{}, fmt.Errorf("core: classifier bundle carries no alphabet (saved by an older version); classify pre-encoded symbols instead")
+	}
+	syms, err := c.alphabet.Encode(raw)
+	if err != nil {
+		return Assignment{}, err
+	}
+	return c.Classify(syms), nil
+}
+
 // NumClusters returns the number of clusters the classifier scores
 // against.
 func (c *Classifier) NumClusters() int { return len(c.trees) }
 
-// classifierMagic heads the single-file model bundle format.
-var classifierMagic = []byte("CLUSEQCLFv1\n")
+// Alphabet returns the training alphabet, or nil for bundles saved
+// before format v2.
+func (c *Classifier) Alphabet() *seq.Alphabet { return c.alphabet }
 
-// Save writes the classifier — every cluster tree, the background
-// distribution, and the similarity threshold — as one binary stream, so a
-// clustering can be trained once and reused for classification without
-// the original database.
+// Threshold returns the per-symbol normalized similarity threshold the
+// clustering converged to (Result.FinalThreshold).
+func (c *Classifier) Threshold() float64 { return math.Exp(c.logT) }
+
+// RawSimilarity reports whether the threshold is compared against raw
+// (un-normalized) similarities.
+func (c *Classifier) RawSimilarity() bool { return c.raw }
+
+// ModelInfo is a read-only summary of a classifier's parameters, shaped
+// for the serving daemon's model listing.
+type ModelInfo struct {
+	Clusters      int     `json:"clusters"`
+	AlphabetSize  int     `json:"alphabet_size"`
+	Alphabet      string  `json:"alphabet,omitempty"`
+	Threshold     float64 `json:"threshold"`
+	RawSimilarity bool    `json:"raw_similarity,omitempty"`
+	MaxDepth      int     `json:"max_depth"`
+	TotalNodes    int     `json:"total_nodes"`
+	// Trees summarizes each cluster's suffix tree in cluster order.
+	Trees []TreeInfo `json:"trees,omitempty"`
+}
+
+// TreeInfo summarizes one cluster tree.
+type TreeInfo struct {
+	Nodes            int   `json:"nodes"`
+	SignificantNodes int   `json:"significant_nodes"`
+	Depth            int   `json:"depth"`
+	TotalSymbols     int64 `json:"total_symbols"`
+}
+
+// Info summarizes the classifier's parameters and per-cluster trees. It
+// walks every tree, so the cost is proportional to total model size.
+func (c *Classifier) Info() ModelInfo {
+	info := ModelInfo{
+		Clusters:      len(c.trees),
+		AlphabetSize:  len(c.background),
+		Threshold:     c.Threshold(),
+		RawSimilarity: c.raw,
+	}
+	if c.alphabet != nil {
+		info.Alphabet = c.alphabet.String()
+	}
+	for _, tree := range c.trees {
+		st := tree.Stats()
+		info.TotalNodes += st.Nodes
+		if d := tree.Config().MaxDepth; d > info.MaxDepth {
+			info.MaxDepth = d
+		}
+		info.Trees = append(info.Trees, TreeInfo{
+			Nodes:            st.Nodes,
+			SignificantNodes: st.SignificantNodes,
+			Depth:            st.MaxDepth,
+			TotalSymbols:     st.TotalSymbols,
+		})
+	}
+	return info
+}
+
+// Bundle format magics. v2 adds the training alphabet between the header
+// and the background distribution; v1 bundles still load (with a nil
+// alphabet). Save always writes v2.
+var (
+	classifierMagicV1 = []byte("CLUSEQCLFv1\n")
+	classifierMagic   = []byte("CLUSEQCLFv2\n")
+)
+
+// maxAlphabetBytes bounds the alphabet section: MaxAlphabetSize runes of
+// at most 4 UTF-8 bytes each.
+const maxAlphabetBytes = 4 * seqMaxAlphabet
+
+// Save writes the classifier — every cluster tree, the training
+// alphabet, the background distribution, and the similarity threshold —
+// as one binary stream, so a clustering can be trained once and reused
+// for classification without the original database. The output is
+// deterministic: saving the same classifier twice yields identical bytes.
 func (c *Classifier) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(classifierMagic); err != nil {
@@ -113,6 +211,16 @@ func (c *Classifier) Save(w io.Writer) error {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
+	}
+	var alphaBytes []byte
+	if c.alphabet != nil {
+		alphaBytes = []byte(c.alphabet.String())
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(alphaBytes))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(alphaBytes); err != nil {
+		return err
 	}
 	for _, v := range c.background {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
@@ -144,14 +252,23 @@ func boolByte(b bool) byte {
 	return 0
 }
 
-// LoadClassifier reads a bundle previously written by Save.
+// LoadClassifier reads a bundle previously written by Save. Both format
+// v2 and the older v1 (no alphabet section) are accepted. Corrupt or
+// truncated bundles fail with an error naming the offending section; no
+// error causes an allocation proportional to a corrupt size field.
 func LoadClassifier(r io.Reader) (*Classifier, error) {
 	br := bufio.NewReader(r)
 	got := make([]byte, len(classifierMagic))
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("core: reading classifier magic: %w", err)
 	}
-	if string(got) != string(classifierMagic) {
+	var hasAlphabet bool
+	switch {
+	case bytes.Equal(got, classifierMagic):
+		hasAlphabet = true
+	case bytes.Equal(got, classifierMagicV1):
+		hasAlphabet = false
+	default:
 		return nil, fmt.Errorf("core: bad classifier magic %q", got)
 	}
 	var (
@@ -159,19 +276,51 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 		logT        float64
 		raw         byte
 	)
-	for _, v := range []any{&nTrees, &nBg, &logT, &raw} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return nil, fmt.Errorf("core: reading classifier header: %w", err)
+	hdrFields := []struct {
+		name string
+		v    any
+	}{{"tree count", &nTrees}, {"alphabet size", &nBg}, {"threshold", &logT}, {"raw flag", &raw}}
+	for _, f := range hdrFields {
+		if err := binary.Read(br, binary.LittleEndian, f.v); err != nil {
+			return nil, fmt.Errorf("core: reading classifier header field %s: %w", f.name, err)
 		}
 	}
 	if nTrees < 1 || nTrees > 1<<20 || nBg < 1 || nBg > seqMaxAlphabet {
 		return nil, fmt.Errorf("core: corrupt classifier header (%d trees, %d symbols)", nTrees, nBg)
 	}
 	c := &Classifier{logT: logT, raw: raw != 0}
+	if hasAlphabet {
+		var alphaLen int64
+		if err := binary.Read(br, binary.LittleEndian, &alphaLen); err != nil {
+			return nil, fmt.Errorf("core: reading alphabet length: %w", err)
+		}
+		if alphaLen < 0 || alphaLen > maxAlphabetBytes {
+			return nil, fmt.Errorf("core: corrupt alphabet length %d (max %d bytes)", alphaLen, maxAlphabetBytes)
+		}
+		if alphaLen > 0 {
+			buf := make([]byte, alphaLen)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("core: reading alphabet: %w", err)
+			}
+			a, err := seq.NewAlphabet(string(buf))
+			if err != nil {
+				return nil, fmt.Errorf("core: corrupt alphabet section: %w", err)
+			}
+			// NewAlphabet deduplicates; a corrupt section with repeated
+			// runes would silently shift every symbol, so reject it.
+			if a.String() != string(buf) {
+				return nil, fmt.Errorf("core: corrupt alphabet section: %q has duplicate or non-canonical runes", buf)
+			}
+			if int64(a.Size()) != nBg {
+				return nil, fmt.Errorf("core: alphabet has %d runes but background declares %d symbols", a.Size(), nBg)
+			}
+			c.alphabet = a
+		}
+	}
 	c.background = make([]float64, nBg)
 	for i := range c.background {
 		if err := binary.Read(br, binary.LittleEndian, &c.background[i]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: reading background entry %d: %w", i, err)
 		}
 		if !(c.background[i] > 0) {
 			return nil, fmt.Errorf("core: corrupt background entry %d: %v", i, c.background[i])
@@ -185,13 +334,18 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 		if size <= 0 || size > 1<<34 {
 			return nil, fmt.Errorf("core: corrupt tree %d size %d", i, size)
 		}
-		blob := make([]byte, size)
-		if _, err := io.ReadFull(br, blob); err != nil {
-			return nil, fmt.Errorf("core: reading tree %d: %w", i, err)
-		}
-		tree, err := pst.Load(bytes.NewReader(blob))
+		// Bound the tree's read window instead of materializing a blob:
+		// a corrupt size field then costs nothing, and a truncated stream
+		// fails inside pst.Load with the section named.
+		lr := &io.LimitedReader{R: br, N: size}
+		tree, err := pst.Load(lr)
 		if err != nil {
 			return nil, fmt.Errorf("core: loading tree %d: %w", i, err)
+		}
+		// pst.Load buffers its reader, so advance past whatever of the
+		// declared window its buffering left unread.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("core: skipping tree %d padding: %w", i, err)
 		}
 		if tree.Config().AlphabetSize != int(nBg) {
 			return nil, fmt.Errorf("core: tree %d alphabet %d != background %d", i, tree.Config().AlphabetSize, nBg)

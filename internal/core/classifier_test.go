@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"cluseq/internal/datagen"
@@ -166,14 +168,182 @@ func TestClassifierSaveLoadRoundTrip(t *testing.T) {
 
 func TestLoadClassifierRejectsCorrupt(t *testing.T) {
 	cases := map[string][]byte{
-		"empty":     {},
-		"bad magic": []byte("NOTACLASSIFIER bundle with enough bytes"),
-		"truncated": append([]byte("CLUSEQCLFv1\n"), 1, 2, 3),
+		"empty":        {},
+		"bad magic":    []byte("NOTACLASSIFIER bundle with enough bytes"),
+		"truncated v1": append([]byte("CLUSEQCLFv1\n"), 1, 2, 3),
+		"truncated v2": append([]byte("CLUSEQCLFv2\n"), 1, 2, 3),
 	}
 	for name, in := range cases {
 		if _, err := LoadClassifier(bytes.NewReader(in)); err == nil {
 			t.Errorf("%s: LoadClassifier should fail", name)
 		}
+	}
+}
+
+// savedTestClassifier trains a tiny classifier and returns it with its
+// serialized bundle.
+func savedTestClassifier(t *testing.T) (*Classifier, []byte) {
+	t.Helper()
+	db := testDB(t, 120, 2, 0, 107)
+	cfg := testConfig()
+	cfg.KeepTrees = true
+	res, err := Cluster(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := NewClassifier(db, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return clf, buf.Bytes()
+}
+
+func TestClassifierAlphabetRoundTrip(t *testing.T) {
+	clf, data := savedTestClassifier(t)
+	if clf.Alphabet() == nil {
+		t.Fatal("NewClassifier should capture the training alphabet")
+	}
+	loaded, err := LoadClassifier(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Alphabet() == nil || loaded.Alphabet().String() != clf.Alphabet().String() {
+		t.Fatalf("alphabet lost in round trip: %v", loaded.Alphabet())
+	}
+	// ClassifyString must agree with Classify on the encoded symbols.
+	raw := clf.Alphabet().Decode(randomNoise(newTestRand(7), 60, clf.Alphabet().Size()))
+	a, err := loaded.ClassifyString(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, err := loaded.Alphabet().Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := loaded.Classify(syms); a.Cluster != b.Cluster || a.Similarity != b.Similarity {
+		t.Fatalf("ClassifyString %+v != Classify %+v", a, b)
+	}
+	// Unknown runes must error, not panic.
+	if _, err := loaded.ClassifyString("\x00\x01 definitely not in alphabet ☃"); err == nil {
+		t.Fatal("ClassifyString should reject runes outside the alphabet")
+	}
+}
+
+// asV1Bundle rewrites a v2 bundle as the v1 format (no alphabet section).
+func asV1Bundle(t *testing.T, v2 []byte) []byte {
+	t.Helper()
+	const magicLen, hdrLen = 12, 8 + 8 + 8 + 1
+	alphaLen := int64(binary.LittleEndian.Uint64(v2[magicLen+hdrLen:]))
+	out := append([]byte(nil), classifierMagicV1...)
+	out = append(out, v2[magicLen:magicLen+hdrLen]...)
+	out = append(out, v2[magicLen+hdrLen+8+int(alphaLen):]...)
+	return out
+}
+
+func TestLoadClassifierAcceptsV1(t *testing.T) {
+	clf, data := savedTestClassifier(t)
+	loaded, err := LoadClassifier(bytes.NewReader(asV1Bundle(t, data)))
+	if err != nil {
+		t.Fatalf("LoadClassifier on v1 bundle: %v", err)
+	}
+	if loaded.Alphabet() != nil {
+		t.Fatal("v1 bundle should load with a nil alphabet")
+	}
+	if _, err := loaded.ClassifyString("anything"); err == nil {
+		t.Fatal("ClassifyString should refuse on an alphabet-less classifier")
+	}
+	// Symbol-level classification must be unaffected.
+	probe := randomNoise(newTestRand(3), 50, loaded.Info().AlphabetSize)
+	a, b := clf.Classify(probe), loaded.Classify(probe)
+	if a.Cluster != b.Cluster || math.Abs(a.Similarity-b.Similarity) > 1e-12 {
+		t.Fatalf("v1 classification differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestClassifierInfo(t *testing.T) {
+	clf, data := savedTestClassifier(t)
+	info := clf.Info()
+	if info.Clusters != clf.NumClusters() || len(info.Trees) != clf.NumClusters() {
+		t.Fatalf("Info clusters %d/%d, want %d", info.Clusters, len(info.Trees), clf.NumClusters())
+	}
+	if info.AlphabetSize != clf.Alphabet().Size() || info.Alphabet != clf.Alphabet().String() {
+		t.Fatalf("Info alphabet %q (%d) disagrees with %q", info.Alphabet, info.AlphabetSize, clf.Alphabet().String())
+	}
+	if info.Threshold <= 0 {
+		t.Fatalf("Info threshold %v", info.Threshold)
+	}
+	if info.TotalNodes < info.Clusters {
+		t.Fatalf("TotalNodes %d below cluster count", info.TotalNodes)
+	}
+	for i, tr := range info.Trees {
+		if tr.Nodes < 1 {
+			t.Fatalf("tree %d reports %d nodes", i, tr.Nodes)
+		}
+	}
+	loaded, err := LoadClassifier(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Info(); got.TotalNodes != info.TotalNodes || got.Threshold != info.Threshold {
+		t.Fatalf("Info differs after round trip: %+v vs %+v", got, info)
+	}
+}
+
+func TestLoadClassifierFailsFastOnCorruptSizes(t *testing.T) {
+	_, data := savedTestClassifier(t)
+	const magicLen, hdrLen = 12, 25
+	patch := func(off int, v uint64) []byte {
+		out := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(out[off:], v)
+		return out
+	}
+	alphaOff := magicLen + hdrLen
+	cases := map[string][]byte{
+		"giant tree count":      patch(magicLen, 1<<40),
+		"giant alphabet count":  patch(magicLen+8, 1<<40),
+		"giant alphabet length": patch(alphaOff, 1<<50),
+		// Tree size fields live past the background; clobbering the
+		// alphabet length to a small wrong value must also fail cleanly.
+		"wrong alphabet length": patch(alphaOff, 3),
+	}
+	for name, in := range cases {
+		if _, err := LoadClassifier(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: LoadClassifier should fail", name)
+		}
+	}
+	// A truncated background must name the section.
+	alphaLen := int(binary.LittleEndian.Uint64(data[alphaOff:]))
+	cut := alphaOff + 8 + alphaLen + 11 // mid-way through background floats
+	if _, err := LoadClassifier(bytes.NewReader(data[:cut])); err == nil {
+		t.Error("truncated background should fail")
+	} else if !strings.Contains(err.Error(), "background") {
+		t.Errorf("error should name the background section, got: %v", err)
+	}
+}
+
+func TestClassifierSaveDeterministic(t *testing.T) {
+	clf, data := savedTestClassifier(t)
+	var again bytes.Buffer
+	if err := clf.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again.Bytes()) {
+		t.Fatal("Save output is not byte-deterministic")
+	}
+	loaded, err := LoadClassifier(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resaved bytes.Buffer
+	if err := loaded.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, resaved.Bytes()) {
+		t.Fatal("Save after Load is not byte-identical")
 	}
 }
 

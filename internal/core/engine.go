@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"cluseq/internal/pool"
 	"cluseq/internal/pst"
 	"cluseq/internal/seq"
 )
@@ -49,7 +50,7 @@ type engine struct {
 	tMoved   bool // t changed during the current iteration
 
 	// pool serves every parallel phase of the run; nil when Workers=1.
-	pool *workerPool
+	pool *pool.Pool
 	// cacheHits counts (sequence, cluster) pairs whose similarity was
 	// still valid from an earlier pass; cacheMisses counts actual
 	// SimilarityFast evaluations. Reset per reclustering pass, atomic
@@ -131,8 +132,7 @@ func (e *engine) unclusteredIndices() []int {
 // run executes the outer loop of Figure 2.
 func (e *engine) run() (*Result, error) {
 	if w := e.workers(); w > 1 {
-		e.pool = newWorkerPool(w - 1)
-		defer e.pool.close()
+		e.pool = pool.New(w - 1)
 	}
 	res := &Result{n: e.db.Len()}
 	prevMembership := e.membershipOf()
@@ -688,9 +688,9 @@ func (e *engine) workers() int {
 	return e.cfg.Workers
 }
 
-// forEachWorker runs fn(i) for i in [0, n), on the run's persistent
-// worker pool when one exists and n is large enough to pay for the
-// dispatch, serially otherwise.
+// forEachWorker runs fn(i) for i in [0, n), on the run's shared worker
+// pool when one exists and n is large enough to pay for the dispatch,
+// serially otherwise.
 func (e *engine) forEachWorker(n int, fn func(i int)) {
 	if e.pool == nil || n < 4 {
 		for i := 0; i < n; i++ {
@@ -698,5 +698,5 @@ func (e *engine) forEachWorker(n int, fn func(i int)) {
 		}
 		return
 	}
-	e.pool.run(n, fn)
+	e.pool.Run(n, fn)
 }

@@ -190,6 +190,39 @@ func (h *Histogram) OtsuThreshold() (float64, bool) {
 	return bestX, true
 }
 
+// Quantile returns the bucket center below which fraction q of the
+// recorded weight falls, interpolating linearly inside the boundary
+// bucket. q is clamped into [0, 1]. The boolean result is false when the
+// histogram holds no weight. The estimate's resolution is one bucket
+// width; the serving daemon uses it for latency percentiles.
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := 0.0
+	for _, w := range h.buckets {
+		total += w
+	}
+	if total == 0 {
+		return 0, false
+	}
+	target := q * total
+	cum := 0.0
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, w := range h.buckets {
+		if cum+w >= target && w > 0 {
+			// Interpolate within bucket i.
+			frac := (target - cum) / w
+			return h.lo + (float64(i)+frac)*width, true
+		}
+		cum += w
+	}
+	return h.Center(len(h.buckets) - 1), true
+}
+
 // String renders a compact textual sketch of the histogram, useful in logs.
 func (h *Histogram) String() string {
 	const bars = "▁▂▃▄▅▆▇█"

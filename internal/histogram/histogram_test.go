@@ -75,6 +75,39 @@ func TestCenter(t *testing.T) {
 
 // TestValleyVShape: a clean V shape (steep decline, then gentle rise) must
 // put the valley at the turning point.
+func TestQuantile(t *testing.T) {
+	h, err := New(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("empty histogram should report no quantile")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i) / 10) // uniform over [0, 100)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.9, 90}, {0.99, 99}, {0.1, 10},
+	} {
+		got, ok := h.Quantile(tc.q)
+		if !ok {
+			t.Fatalf("Quantile(%v) reported empty", tc.q)
+		}
+		if math.Abs(got-tc.want) > 1.5 { // one bucket width of slack
+			t.Fatalf("Quantile(%v) = %v, want ≈ %v", tc.q, got, tc.want)
+		}
+	}
+	// Clamped arguments and a single-bucket mass.
+	h2, _ := New(0, 10, 10)
+	h2.Add(3.5)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got, ok := h2.Quantile(q)
+		if !ok || got < 3 || got > 4 {
+			t.Fatalf("Quantile(%v) = %v/%v, want inside bucket [3,4)", q, got, ok)
+		}
+	}
+}
+
 func TestValleyVShape(t *testing.T) {
 	h, _ := New(0, 30, 30)
 	// Steep decline over buckets 0..9, flat low region 10..19, gentle rise

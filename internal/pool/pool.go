@@ -1,0 +1,88 @@
+// Package pool provides the bounded fan-out helper shared by every
+// parallel loop in this repository: the clustering engine's scoring
+// phases, cmd/classify's batch classification, and the serving daemon's
+// batch requests.
+//
+// A Pool is a semaphore over helper goroutines. Run(n, fn) invokes
+// fn(i) for every i in [0, n) with dynamic (work-stealing) index
+// assignment, which keeps workers busy when per-index cost is skewed
+// (long sequences, large trees). The calling goroutine always
+// participates as a worker, so a pool of size w−1 yields w-way
+// parallelism with no idle coordinator — and, crucially, a Run call
+// that finds the pool saturated still makes progress on the caller's
+// own goroutine instead of blocking behind other batches.
+//
+// Unlike a fixed set of long-lived workers, Run may be called
+// concurrently from many goroutines (the serving daemon fans every
+// batch request through one shared pool): the semaphore bounds the
+// total helper goroutines across all concurrent batches, so one large
+// batch cannot starve small ones — it can only monopolize the helpers,
+// never another caller's goroutine.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the number of helper goroutines available to Run calls.
+// The zero value is not usable; construct with New.
+type Pool struct {
+	extra int
+	slots chan struct{}
+}
+
+// New returns a pool with the given number of helper goroutine slots.
+// extra ≤ 0 yields a pool whose Run executes serially on the caller.
+func New(extra int) *Pool {
+	if extra < 0 {
+		extra = 0
+	}
+	return &Pool{extra: extra, slots: make(chan struct{}, extra)}
+}
+
+// Size returns the number of helper slots (parallelism is Size()+1 per
+// concurrent caller, bounded overall by Size() + number of callers).
+func (p *Pool) Size() int { return p.extra }
+
+// Run executes fn(0) … fn(n−1) and returns when every index is done.
+// Indices are handed out dynamically; fn must be safe for concurrent
+// invocation on distinct indices. Helpers are acquired opportunistically:
+// Run never blocks waiting for a slot.
+func (p *Pool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	// At most n−1 helpers are useful: the caller covers the n-th lane.
+	helpers := p.extra
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+acquire:
+	for j := 0; j < helpers; j++ {
+		select {
+		case p.slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.slots }()
+				work()
+			}()
+		default:
+			break acquire // saturated; the caller works alone
+		}
+	}
+	work()
+	wg.Wait()
+}

@@ -1,0 +1,66 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, extra := range []int{0, 1, 3, 7} {
+		p := New(extra)
+		for _, n := range []int{0, 1, 2, 5, 100, 1000} {
+			hits := make([]atomic.Int32, n)
+			p.Run(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("extra=%d n=%d: index %d executed %d times", extra, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRunSerialWhenNoHelpers(t *testing.T) {
+	p := New(0)
+	// With no helper slots every index must run on the caller's
+	// goroutine, in order.
+	var order []int
+	p.Run(50, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial run out of order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestConcurrentRunCalls(t *testing.T) {
+	p := New(4)
+	const callers = 8
+	const n = 200
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(n, func(i int) { total.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != callers*n {
+		t.Fatalf("concurrent runs executed %d calls, want %d", got, callers*n)
+	}
+}
+
+func TestNegativeExtraNormalizes(t *testing.T) {
+	p := New(-3)
+	if p.Size() != 0 {
+		t.Fatalf("Size() = %d, want 0", p.Size())
+	}
+	done := false
+	p.Run(1, func(int) { done = true })
+	if !done {
+		t.Fatal("Run skipped the only index")
+	}
+}

@@ -107,16 +107,36 @@ func Load(r io.Reader) (*Tree, error) {
 		adaptive                              byte
 		insertions, pruned, numNodes          int64
 	)
-	for _, v := range []any{
-		&alpha, &maxDepth, &sig, &maxBytes, &prune, &pmin,
-		&adaptive, &shrink, &insertions, &pruned, &numNodes,
-	} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return nil, fmt.Errorf("pst: reading header: %w", err)
+	hdrFields := []struct {
+		name string
+		v    any
+	}{
+		{"alphabet size", &alpha}, {"max depth", &maxDepth},
+		{"significance", &sig}, {"max bytes", &maxBytes},
+		{"prune strategy", &prune}, {"p_min", &pmin},
+		{"adaptive flag", &adaptive}, {"shrinkage", &shrink},
+		{"insertions", &insertions}, {"pruned count", &pruned},
+		{"node count", &numNodes},
+	}
+	for _, f := range hdrFields {
+		if err := binary.Read(br, binary.LittleEndian, f.v); err != nil {
+			return nil, fmt.Errorf("pst: reading header field %s: %w", f.name, err)
 		}
 	}
-	if alpha <= 0 || alpha > math.MaxInt32 || numNodes < 1 {
-		return nil, fmt.Errorf("pst: corrupt header (alphabet %d, nodes %d)", alpha, numNodes)
+	// Reject implausible headers before any size-proportional allocation:
+	// a flipped byte in the alphabet or node count must fail here, not in
+	// a multi-gigabyte make().
+	if alpha <= 0 || alpha > seq.MaxAlphabetSize {
+		return nil, fmt.Errorf("pst: corrupt header: alphabet size %d outside [1, %d]", alpha, seq.MaxAlphabetSize)
+	}
+	if numNodes < 1 || numNodes > maxLoadNodes {
+		return nil, fmt.Errorf("pst: corrupt header: node count %d outside [1, %d]", numNodes, int64(maxLoadNodes))
+	}
+	if maxDepth < 0 || maxDepth > math.MaxInt32 {
+		return nil, fmt.Errorf("pst: corrupt header: max depth %d", maxDepth)
+	}
+	if insertions < 0 || pruned < 0 {
+		return nil, fmt.Errorf("pst: corrupt header: negative counters (insertions %d, pruned %d)", insertions, pruned)
 	}
 	t, err := New(Config{
 		AlphabetSize:         int(alpha),
@@ -134,7 +154,7 @@ func Load(r io.Reader) (*Tree, error) {
 	t.insertions = insertions
 	t.pruned = pruned
 	remaining := numNodes
-	root, err := t.loadNode(br, nil, 0, &remaining)
+	root, err := t.loadNode(br, nil, 0, numNodes, &remaining)
 	if err != nil {
 		return nil, err
 	}
@@ -166,13 +186,19 @@ func (t *Tree) rebuildLinks() {
 	}
 }
 
-func (t *Tree) loadNode(r io.Reader, parent *Node, depth int, remaining *int64) (*Node, error) {
+// maxLoadNodes bounds the node count a header may declare; anything
+// larger is rejected before allocation. (2^31 nodes would already be a
+// >100 GB tree — far beyond any legitimate bundle.)
+const maxLoadNodes = int64(1) << 31
+
+func (t *Tree) loadNode(r io.Reader, parent *Node, depth int, total int64, remaining *int64) (*Node, error) {
 	if *remaining <= 0 {
-		return nil, fmt.Errorf("pst: more nodes in stream than header declared")
+		return nil, fmt.Errorf("pst: more nodes in stream than the %d the header declared", total)
 	}
 	*remaining--
+	idx := total - *remaining - 1 // pre-order index of this node, for errors
 	if depth > t.cfg.MaxDepth {
-		return nil, fmt.Errorf("pst: node depth %d exceeds MaxDepth %d", depth, t.cfg.MaxDepth)
+		return nil, fmt.Errorf("pst: node %d: depth %d exceeds MaxDepth %d", idx, depth, t.cfg.MaxDepth)
 	}
 	var (
 		sym      uint16
@@ -180,13 +206,23 @@ func (t *Tree) loadNode(r io.Reader, parent *Node, depth int, remaining *int64) 
 		nonZero  uint32
 		children uint32
 	)
-	for _, v := range []any{&sym, &count, &nonZero, &children} {
-		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
-			return nil, fmt.Errorf("pst: reading node: %w", err)
+	nodeFields := []struct {
+		name string
+		v    any
+	}{{"edge symbol", &sym}, {"count", &count}, {"next-entry count", &nonZero}, {"child count", &children}}
+	for _, f := range nodeFields {
+		if err := binary.Read(r, binary.LittleEndian, f.v); err != nil {
+			return nil, fmt.Errorf("pst: node %d: reading %s: %w", idx, f.name, err)
 		}
 	}
-	if count < 0 || int(nonZero) > t.cfg.AlphabetSize {
-		return nil, fmt.Errorf("pst: corrupt node (count %d, %d next entries)", count, nonZero)
+	if count < 0 || int64(nonZero) > int64(t.cfg.AlphabetSize) {
+		return nil, fmt.Errorf("pst: node %d: corrupt (count %d, %d next entries, alphabet %d)", idx, count, nonZero, t.cfg.AlphabetSize)
+	}
+	// Every child consumes at least one of the declared remaining nodes,
+	// so a child count beyond that is corrupt; checking here keeps the
+	// pre-sized map allocation proportional to the actual stream.
+	if int64(children) > *remaining {
+		return nil, fmt.Errorf("pst: node %d: declares %d children but only %d nodes remain", idx, children, *remaining)
 	}
 	n := &Node{
 		parent: parent,
@@ -199,25 +235,25 @@ func (t *Tree) loadNode(r io.Reader, parent *Node, depth int, remaining *int64) 
 		var s uint16
 		var c int64
 		if err := binary.Read(r, binary.LittleEndian, &s); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pst: node %d: reading next entry %d symbol: %w", idx, i, err)
 		}
 		if err := binary.Read(r, binary.LittleEndian, &c); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pst: node %d: reading next entry %d count: %w", idx, i, err)
 		}
 		if int(s) >= t.cfg.AlphabetSize || c < 0 {
-			return nil, fmt.Errorf("pst: corrupt next entry (symbol %d, count %d)", s, c)
+			return nil, fmt.Errorf("pst: node %d: corrupt next entry (symbol %d, count %d)", idx, s, c)
 		}
 		n.next[s] = c
 	}
 	if children > 0 {
 		n.children = make(map[seq.Symbol]*Node, children)
 		for i := uint32(0); i < children; i++ {
-			child, err := t.loadNode(r, n, depth+1, remaining)
+			child, err := t.loadNode(r, n, depth+1, total, remaining)
 			if err != nil {
 				return nil, err
 			}
 			if _, dup := n.children[child.symbol]; dup {
-				return nil, fmt.Errorf("pst: duplicate child symbol %d", child.symbol)
+				return nil, fmt.Errorf("pst: node %d: duplicate child symbol %d", idx, child.symbol)
 			}
 			n.children[child.symbol] = child
 		}

@@ -163,3 +163,92 @@ func TestLoadGarbageAfterValidHeader(t *testing.T) {
 		t.Fatal("trailing bytes after a complete tree should be ignored (stream use)")
 	}
 }
+
+// savedTestTree returns the serialized bytes of a small valid tree.
+func savedTestTree(t *testing.T) []byte {
+	t.Helper()
+	tree := MustNew(Config{AlphabetSize: 3, MaxDepth: 3, Significance: 1})
+	tree.Insert([]seq.Symbol{0, 1, 2, 0, 1})
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Header layout after the 6-byte magic: alphabet(int64), maxDepth(int64),
+// significance(int64), maxBytes(int64), prune(int64), pmin(float64),
+// adaptive(byte), shrinkage(float64), insertions(int64), pruned(int64),
+// numNodes(int64). First node starts at byte 97.
+const (
+	offAlphabet  = 6
+	offMaxDepth  = 14
+	offNumNodes  = 79
+	offFirstNode = 87
+)
+
+func TestLoadFailsFastOnOversizedHeader(t *testing.T) {
+	patch := func(data []byte, off int, v uint64) []byte {
+		out := append([]byte(nil), data...)
+		for i := 0; i < 8; i++ {
+			out[off+i] = byte(v >> (8 * i))
+		}
+		return out
+	}
+	base := savedTestTree(t)
+	cases := map[string][]byte{
+		// Each would previously attempt (or begin) a huge allocation or
+		// an unbounded walk; all must be rejected on the header alone.
+		"giant alphabet":     patch(base, offAlphabet, 1<<40),
+		"alphabet over max":  patch(base, offAlphabet, uint64(seq.MaxAlphabetSize)+1),
+		"zero alphabet":      patch(base, offAlphabet, 0),
+		"giant node count":   patch(base, offNumNodes, 1<<40),
+		"zero node count":    patch(base, offNumNodes, 0),
+		"negative max depth": patch(base, offMaxDepth, ^uint64(0)),
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Load should fail", name)
+		}
+	}
+}
+
+func TestLoadRejectsOversizedChildCount(t *testing.T) {
+	data := savedTestTree(t)
+	// Root node layout: symbol(uint16), count(int64), nonZero(uint32),
+	// children(uint32). Clobber the child count with a value far beyond
+	// the declared node total; the loader must refuse before pre-sizing
+	// a map for it.
+	off := offFirstNode + 2 + 8 + 4
+	for i, b := range []byte{0xFF, 0xFF, 0xFF, 0x7F} {
+		data[off+i] = b
+	}
+	_, err := Load(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("Load should reject a child count beyond the declared node total")
+	}
+	if !strings.Contains(err.Error(), "children") {
+		t.Fatalf("error should name the child-count section, got: %v", err)
+	}
+}
+
+func TestLoadErrorsNameSection(t *testing.T) {
+	data := savedTestTree(t)
+	// Truncate inside the header, then inside a node: the error must say
+	// which section was being read, not surface a bare EOF.
+	for _, cut := range []struct {
+		name, want string
+		at         int
+	}{
+		{"header", "header field", offAlphabet + 3},
+		{"node", "node 0", offFirstNode + 1},
+	} {
+		_, err := Load(bytes.NewReader(data[:cut.at]))
+		if err == nil {
+			t.Fatalf("%s: Load should fail on truncation", cut.name)
+		}
+		if !strings.Contains(err.Error(), cut.want) {
+			t.Fatalf("%s: error %q should mention %q", cut.name, err, cut.want)
+		}
+	}
+}

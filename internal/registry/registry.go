@@ -1,0 +1,219 @@
+// Package registry holds named classifier models loaded from a bundle
+// directory and hot-reloads them without disturbing in-flight readers.
+//
+// # Concurrency contract
+//
+// The registry keeps its entire state — the name→model map — in one
+// immutable snapshot behind an atomic.Pointer. Readers (Get, Models,
+// Len) load the pointer once and then work on a map that will never
+// change; they take no locks and never block, however large the reload
+// happening next to them. Reload builds a complete replacement snapshot
+// off to the side and installs it with a single pointer swap, so a
+// reader observes either the old set or the new set, never a mix.
+//
+// A request that resolved a *Model keeps using it even if a reload
+// replaces or removes the name mid-request: models are immutable
+// (core.Classifier is read-only after construction) and garbage
+// collection retires the old snapshot only when the last in-flight
+// reference drops. Hot reload therefore never fails or corrupts a
+// request that is already running.
+//
+// Reload calls themselves are serialized by a mutex; only the swap is
+// atomic, not the directory scan.
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cluseq/internal/core"
+)
+
+// Ext is the filename extension a bundle must carry to be picked up.
+const Ext = ".cluseq"
+
+// Model is one loaded classifier bundle. Immutable after load.
+type Model struct {
+	// Name is the bundle filename without the .cluseq extension.
+	Name string
+	// Path is the file the bundle was loaded from.
+	Path string
+	// Classifier is the loaded model; safe for concurrent use.
+	Classifier *core.Classifier
+	// LoadedAt is when this version of the bundle was loaded.
+	LoadedAt time.Time
+	// Size and ModTime fingerprint the file version backing this model;
+	// Reload skips files whose fingerprint is unchanged.
+	Size    int64
+	ModTime time.Time
+}
+
+// Registry is a hot-reloadable collection of named models. Construct
+// with Open; the zero value is not usable.
+type Registry struct {
+	dir  string
+	mu   sync.Mutex // serializes Reload
+	snap atomic.Pointer[map[string]*Model]
+	// generation counts completed reloads (including the initial load),
+	// for diagnostics and tests.
+	generation atomic.Uint64
+}
+
+// Report describes the outcome of one Reload pass. Name lists are
+// sorted.
+type Report struct {
+	// Loaded names models (re)loaded from disk this pass.
+	Loaded []string `json:"loaded,omitempty"`
+	// Kept names models whose files were unchanged.
+	Kept []string `json:"kept,omitempty"`
+	// Removed names models whose files disappeared.
+	Removed []string `json:"removed,omitempty"`
+	// Failed maps a model name to the load error that kept its new file
+	// out of the registry. A previously loaded version, when one exists,
+	// stays in service (listed under Kept as well).
+	Failed map[string]string `json:"failed,omitempty"`
+}
+
+// Open scans dir and loads every *.cluseq bundle in it. It fails only
+// when the directory itself is unreadable; individual corrupt bundles
+// are reported in the Report and skipped, so one bad file cannot keep a
+// daemon from serving the good ones.
+func Open(dir string) (*Registry, Report, error) {
+	r := &Registry{dir: dir}
+	empty := map[string]*Model{}
+	r.snap.Store(&empty)
+	rep, err := r.Reload()
+	if err != nil {
+		return nil, rep, err
+	}
+	return r, rep, nil
+}
+
+// Dir returns the directory the registry watches.
+func (r *Registry) Dir() string { return r.dir }
+
+// Get returns the named model. The returned *Model remains valid (and
+// immutable) even if a concurrent reload replaces or removes the name.
+func (r *Registry) Get(name string) (*Model, bool) {
+	m, ok := (*r.snap.Load())[name]
+	return m, ok
+}
+
+// Models returns the current snapshot's models sorted by name.
+func (r *Registry) Models() []*Model {
+	snap := *r.snap.Load()
+	out := make([]*Model, 0, len(snap))
+	for _, m := range snap {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of models in the current snapshot.
+func (r *Registry) Len() int { return len(*r.snap.Load()) }
+
+// Generation returns the number of completed load passes.
+func (r *Registry) Generation() uint64 { return r.generation.Load() }
+
+// Reload rescans the directory: new and changed bundles are loaded,
+// unchanged ones carried over, and models whose files vanished dropped —
+// all installed as one atomic snapshot swap. A changed file that fails
+// to load keeps its previous version in service.
+//
+// Bundle files must be written atomically (write to a temp file, then
+// rename) for the fingerprint check to be sound; the Report of a pass
+// that raced a non-atomic writer heals on the next Reload.
+func (r *Registry) Reload() (Report, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	rep := Report{}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return rep, fmt.Errorf("registry: scanning %s: %w", r.dir, err)
+	}
+	old := *r.snap.Load()
+	next := make(map[string]*Model, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), Ext) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), Ext)
+		if name == "" {
+			continue
+		}
+		path := filepath.Join(r.dir, e.Name())
+		fi, err := e.Info()
+		if err != nil {
+			rep.fail(name, err)
+			if prev, ok := old[name]; ok {
+				next[name] = prev
+				rep.Kept = append(rep.Kept, name)
+			}
+			continue
+		}
+		if prev, ok := old[name]; ok && prev.Size == fi.Size() && prev.ModTime.Equal(fi.ModTime()) {
+			next[name] = prev
+			rep.Kept = append(rep.Kept, name)
+			continue
+		}
+		m, err := loadModel(name, path, fi)
+		if err != nil {
+			rep.fail(name, err)
+			if prev, ok := old[name]; ok {
+				// Keep serving the previous good version rather than
+				// dropping a live model over a bad rewrite.
+				next[name] = prev
+				rep.Kept = append(rep.Kept, name)
+			}
+			continue
+		}
+		next[name] = m
+		rep.Loaded = append(rep.Loaded, name)
+	}
+	for name := range old {
+		if _, ok := next[name]; !ok {
+			rep.Removed = append(rep.Removed, name)
+		}
+	}
+	sort.Strings(rep.Loaded)
+	sort.Strings(rep.Kept)
+	sort.Strings(rep.Removed)
+	r.snap.Store(&next)
+	r.generation.Add(1)
+	return rep, nil
+}
+
+func (rep *Report) fail(name string, err error) {
+	if rep.Failed == nil {
+		rep.Failed = make(map[string]string)
+	}
+	rep.Failed[name] = err.Error()
+}
+
+func loadModel(name, path string, fi os.FileInfo) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	clf, err := core.LoadClassifier(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, err)
+	}
+	return &Model{
+		Name:       name,
+		Path:       path,
+		Classifier: clf,
+		LoadedAt:   time.Now(),
+		Size:       fi.Size(),
+		ModTime:    fi.ModTime(),
+	}, nil
+}

@@ -1,0 +1,252 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cluseq/internal/core"
+	"cluseq/internal/pst"
+	"cluseq/internal/seq"
+)
+
+// makeClassifier builds a tiny single-cluster classifier trained on the
+// given strings over alphabet "abcd".
+func makeClassifier(t *testing.T, trains ...string) *core.Classifier {
+	t.Helper()
+	db := seq.NewDatabase(seq.MustAlphabet("abcd"))
+	tree := pst.MustNew(pst.Config{AlphabetSize: 4, MaxDepth: 4, Significance: 1})
+	for i, s := range trains {
+		if err := db.AddString(fmt.Sprintf("s%d", i), "", s); err != nil {
+			t.Fatal(err)
+		}
+		syms, err := db.Alphabet.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree.Insert(syms)
+	}
+	res := &core.Result{
+		Clusters:       []*core.ClusterInfo{{ID: 0, Tree: tree}},
+		FinalThreshold: 1.01,
+	}
+	clf, err := core.NewClassifier(db, res, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// writeBundle saves the classifier atomically as dir/name.cluseq.
+func writeBundle(t *testing.T, dir, name string, clf *core.Classifier) {
+	t.Helper()
+	tmp, err := os.CreateTemp(dir, name+".tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Save(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name+Ext)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bump pushes a bundle's modtime forward so a rewrite is always seen as
+// changed even on coarse-granularity filesystems.
+func bump(t *testing.T, dir, name string, d time.Duration) {
+	t.Helper()
+	path := filepath.Join(dir, name+Ext)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, time.Now(), fi.ModTime().Add(d)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenLoadsBundles(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "alpha", makeClassifier(t, "ababab", "ababab"))
+	writeBundle(t, dir, "beta", makeClassifier(t, "cdcdcd"))
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignored"), 0o644)
+
+	r, rep, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || len(rep.Loaded) != 2 {
+		t.Fatalf("loaded %d models (report %+v), want 2", r.Len(), rep)
+	}
+	ms := r.Models()
+	if ms[0].Name != "alpha" || ms[1].Name != "beta" {
+		t.Fatalf("Models() order: %v, %v", ms[0].Name, ms[1].Name)
+	}
+	m, ok := r.Get("alpha")
+	if !ok || m.Classifier.NumClusters() != 1 {
+		t.Fatalf("Get(alpha) = %v, %v", m, ok)
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Fatal("Get should miss on unknown name")
+	}
+	if _, err := m.Classifier.ClassifyString("abab"); err != nil {
+		t.Fatalf("loaded model should classify strings: %v", err)
+	}
+}
+
+func TestOpenSkipsCorruptBundle(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "good", makeClassifier(t, "abab"))
+	os.WriteFile(filepath.Join(dir, "bad"+Ext), []byte("not a bundle at all"), 0o644)
+
+	r, rep, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open should survive one corrupt bundle: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if _, ok := rep.Failed["bad"]; !ok {
+		t.Fatalf("report should name the corrupt bundle: %+v", rep)
+	}
+}
+
+func TestOpenMissingDir(t *testing.T) {
+	if _, _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Open should fail on a missing directory")
+	}
+}
+
+func TestReloadKeepsChangesAndRemoves(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "stable", makeClassifier(t, "abab"))
+	writeBundle(t, dir, "hot", makeClassifier(t, "cdcd"))
+	r, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable0, _ := r.Get("stable")
+	hot0, _ := r.Get("hot")
+
+	// Rewrite one bundle, add one, remove none.
+	writeBundle(t, dir, "hot", makeClassifier(t, "aabb", "bbaa"))
+	bump(t, dir, "hot", 2*time.Second)
+	writeBundle(t, dir, "fresh", makeClassifier(t, "dddd"))
+	rep, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoaded := map[string]bool{"hot": true, "fresh": true}
+	for _, n := range rep.Loaded {
+		delete(wantLoaded, n)
+	}
+	if len(wantLoaded) != 0 || len(rep.Kept) != 1 || rep.Kept[0] != "stable" {
+		t.Fatalf("report %+v: want hot+fresh loaded, stable kept", rep)
+	}
+	if stable1, _ := r.Get("stable"); stable1 != stable0 {
+		t.Fatal("unchanged bundle should keep its loaded *Model")
+	}
+	if hot1, _ := r.Get("hot"); hot1 == hot0 {
+		t.Fatal("changed bundle should reload to a new *Model")
+	}
+	// The old model object must remain usable for in-flight holders.
+	if _, err := hot0.Classifier.ClassifyString("cd"); err != nil {
+		t.Fatalf("replaced model object broke: %v", err)
+	}
+
+	// Removal.
+	os.Remove(filepath.Join(dir, "fresh"+Ext))
+	rep, err = r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "fresh" {
+		t.Fatalf("report %+v: want fresh removed", rep)
+	}
+	if _, ok := r.Get("fresh"); ok {
+		t.Fatal("removed bundle still resolvable")
+	}
+}
+
+func TestReloadKeepsPreviousOnCorruptRewrite(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "m", makeClassifier(t, "abab"))
+	r, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := r.Get("m")
+
+	os.WriteFile(filepath.Join(dir, "m"+Ext), []byte("garbage overwrite"), 0o644)
+	bump(t, dir, "m", 2*time.Second)
+	rep, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Failed["m"]; !ok {
+		t.Fatalf("report should record the failed load: %+v", rep)
+	}
+	after, ok := r.Get("m")
+	if !ok || after != before {
+		t.Fatal("corrupt rewrite must keep the previous good version in service")
+	}
+}
+
+func TestConcurrentGetAndReload(t *testing.T) {
+	dir := t.TempDir()
+	a := makeClassifier(t, "abababab", "abab")
+	b := makeClassifier(t, "cdcdcdcd", "cdcd")
+	writeBundle(t, dir, "m", a)
+	r, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m, ok := r.Get("m")
+				if !ok {
+					t.Error("model vanished during reload")
+					return
+				}
+				if _, err := m.Classifier.ClassifyString("abcd"); err != nil {
+					t.Errorf("classify failed mid-reload: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		clf := a
+		if i%2 == 0 {
+			clf = b
+		}
+		writeBundle(t, dir, "m", clf)
+		bump(t, dir, "m", time.Duration(i+1)*time.Second)
+		if _, err := r.Reload(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if gen := r.Generation(); gen < 21 {
+		t.Fatalf("generation %d, want ≥ 21", gen)
+	}
+}

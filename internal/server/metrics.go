@@ -1,0 +1,104 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"time"
+
+	"cluseq/internal/histogram"
+)
+
+// metrics holds the daemon's counters. Counters are expvar types —
+// lock-free atomic increments on the request path — but deliberately
+// not published to the global expvar namespace, so multiple servers
+// (and tests) can coexist in one process; /metrics renders them from a
+// snapshot instead of expvar.Handler.
+type metrics struct {
+	start time.Time
+
+	requests  expvar.Map // per endpoint: classify, models, reload, …
+	errors    expvar.Map // per class: bad_request, not_found, too_large, unavailable, internal
+	sequences expvar.Int // sequences classified
+	outliers  expvar.Int // of which below every threshold
+	perModel  expvar.Map // classifications per model name
+
+	// latency collects per-request classify latency in milliseconds.
+	// internal/histogram is not concurrency-safe, so observations take
+	// this mutex — one short critical section per request, after the
+	// response is computed.
+	latencyMu sync.Mutex
+	latency   *histogram.Histogram
+}
+
+// latencyDomainMs bounds the latency histogram; slower requests clamp
+// into the last bucket, so tail quantiles saturate at the domain edge.
+const latencyDomainMs = 2000
+
+func newMetrics() *metrics {
+	m := &metrics{start: time.Now()}
+	m.requests.Init()
+	m.errors.Init()
+	m.perModel.Init()
+	// 400 buckets of 5 ms over [0, 2s).
+	m.latency = mustHistogram(0, latencyDomainMs, 400)
+	return m
+}
+
+func mustHistogram(lo, hi float64, buckets int) *histogram.Histogram {
+	h, err := histogram.New(lo, hi, buckets)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.latencyMu.Lock()
+	m.latency.Add(ms)
+	m.latencyMu.Unlock()
+}
+
+// expvarMapToJSON flattens an expvar.Map of expvar.Int values.
+func expvarMapToJSON(m *expvar.Map) map[string]int64 {
+	out := map[string]int64{}
+	m.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			out[kv.Key] = v.Value()
+		}
+	})
+	return out
+}
+
+// snapshot renders every counter into a JSON-encodable tree for the
+// /metrics endpoint.
+func (m *metrics) snapshot() map[string]any {
+	m.latencyMu.Lock()
+	count := m.latency.Count()
+	p50, _ := m.latency.Quantile(0.50)
+	p95, _ := m.latency.Quantile(0.95)
+	p99, _ := m.latency.Quantile(0.99)
+	m.latencyMu.Unlock()
+
+	seqs := m.sequences.Value()
+	outliers := m.outliers.Value()
+	rate := 0.0
+	if seqs > 0 {
+		rate = float64(outliers) / float64(seqs)
+	}
+	return map[string]any{
+		"uptime_seconds":  time.Since(m.start).Seconds(),
+		"requests":        expvarMapToJSON(&m.requests),
+		"errors":          expvarMapToJSON(&m.errors),
+		"sequences_total": seqs,
+		"classifications": expvarMapToJSON(&m.perModel),
+		"outliers_total":  outliers,
+		"outlier_rate":    rate,
+		"latency_ms": map[string]any{
+			"count": count,
+			"p50":   p50,
+			"p95":   p95,
+			"p99":   p99,
+		},
+	}
+}

@@ -1,0 +1,333 @@
+// Package server implements the HTTP API of the cluseqd serving daemon:
+// online classification of sequences against the models of a
+// hot-reloadable registry.
+//
+// # Endpoints
+//
+//	POST /v1/classify       classify one sequence or a batch against a model
+//	GET  /v1/models         list loaded models with parameters and tree sizes
+//	POST /v1/models/reload  rescan the model directory (atomic hot reload)
+//	GET  /healthz           liveness (always 200 while the process serves)
+//	GET  /readyz            readiness (200 once ≥ 1 model is loaded, else 503)
+//	GET  /metrics           JSON counters: requests, errors, per-model
+//	                        classifications, outlier rate, latency quantiles
+//
+// Batch classification fans the request's sequences across a bounded
+// worker pool shared by all in-flight requests; the request's own
+// goroutine always participates, so a large batch can saturate every
+// core without ever blocking a concurrent small request (see
+// internal/pool).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"cluseq/internal/pool"
+	"cluseq/internal/registry"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Registry supplies the models; required.
+	Registry *registry.Registry
+	// MaxBatch caps the number of sequences in one classify request;
+	// larger batches are refused with 413. Default 1024.
+	MaxBatch int
+	// MaxBodyBytes caps a request body. Default 32 MiB.
+	MaxBodyBytes int64
+	// Workers bounds the classification parallelism shared across all
+	// in-flight requests: Workers−1 helper goroutines plus each
+	// request's own. 0 uses GOMAXPROCS; 1 classifies serially on the
+	// request goroutine.
+	Workers int
+	// Timeout, when positive, bounds each API request end to end
+	// (503 with a JSON error on expiry). Health and metrics endpoints
+	// are exempt.
+	Timeout time.Duration
+	// Logf, when non-nil, receives one line per reload and per refused
+	// request.
+	Logf func(format string, args ...any)
+}
+
+// Server routes the API. Construct with New; safe for concurrent use.
+type Server struct {
+	reg          *registry.Registry
+	maxBatch     int
+	maxBodyBytes int64
+	timeout      time.Duration
+	pool         *pool.Pool
+	metrics      *metrics
+	logf         func(format string, args ...any)
+
+	// classifyHook, when non-nil, runs at the start of every classify
+	// request — test instrumentation for shutdown/race tests.
+	classifyHook func()
+}
+
+// New validates the configuration and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("server: Config.Registry is required")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("server: MaxBatch must be positive, got %d", cfg.MaxBatch)
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		reg:          cfg.Registry,
+		maxBatch:     cfg.MaxBatch,
+		maxBodyBytes: cfg.MaxBodyBytes,
+		timeout:      cfg.Timeout,
+		pool:         pool.New(cfg.Workers - 1),
+		metrics:      newMetrics(),
+		logf:         logf,
+	}, nil
+}
+
+// Handler returns the daemon's root handler.
+func (s *Server) Handler() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("POST /v1/classify", s.handleClassify)
+	api.HandleFunc("GET /v1/models", s.handleModels)
+	api.HandleFunc("POST /v1/models/reload", s.handleReload)
+	var apiHandler http.Handler = api
+	if s.timeout > 0 {
+		// TimeoutHandler replies 503 and discards the handler's late
+		// writes; the JSON body keeps the error shape uniform.
+		msg, _ := json.Marshal(errorBody{Error: "request timed out"})
+		apiHandler = http.TimeoutHandler(api, s.timeout, string(msg))
+	}
+	root := http.NewServeMux()
+	root.Handle("/v1/", apiHandler)
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.HandleFunc("GET /readyz", s.handleReadyz)
+	root.HandleFunc("GET /metrics", s.handleMetrics)
+	return root
+}
+
+// Registry returns the server's model registry.
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// fail writes a JSON error and bumps the error counter for its class.
+func (s *Server) fail(w http.ResponseWriter, code int, class, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.metrics.errors.Add(class, 1)
+	s.logf("server: %d %s: %s", code, class, msg)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// ClassifyRequest is the body of POST /v1/classify. Exactly one of
+// Sequence and Sequences must be set.
+type ClassifyRequest struct {
+	// Model names the bundle to classify against.
+	Model string `json:"model"`
+	// Sequence is the single-classification form.
+	Sequence string `json:"sequence,omitempty"`
+	// Sequences is the batch form.
+	Sequences []string `json:"sequences,omitempty"`
+}
+
+// ClassifyResult is one sequence's outcome.
+type ClassifyResult struct {
+	// Cluster is the best cluster index, or −1 for an outlier.
+	Cluster int `json:"cluster"`
+	// Outlier mirrors Cluster == −1 for readability.
+	Outlier bool `json:"outlier,omitempty"`
+	// Similarity is the per-symbol normalized similarity to the best
+	// cluster.
+	Similarity float64 `json:"similarity"`
+	// Memberships lists every cluster whose threshold the sequence
+	// clears.
+	Memberships []int `json:"memberships,omitempty"`
+	// Error is set (and the other fields zero) when this sequence could
+	// not be classified, e.g. a rune outside the model's alphabet. A
+	// bad sequence fails alone, not the whole batch.
+	Error string `json:"error,omitempty"`
+}
+
+// ClassifyResponse is the body answering POST /v1/classify.
+type ClassifyResponse struct {
+	Model string `json:"model"`
+	// Results is index-aligned with the request's sequences (the single
+	// form yields one entry).
+	Results  []ClassifyResult `json:"results"`
+	Outliers int              `json:"outliers"`
+	// ElapsedMs is the server-side classification time.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if s.classifyHook != nil {
+		s.classifyHook()
+	}
+	s.metrics.requests.Add("classify", 1)
+	start := time.Now()
+
+	var req ClassifyRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "too_large", "request body exceeds %d bytes", s.maxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad_request", "malformed JSON: %v", err)
+		return
+	}
+	if req.Model == "" {
+		s.fail(w, http.StatusBadRequest, "bad_request", `missing "model"`)
+		return
+	}
+	single := req.Sequence != ""
+	if single && len(req.Sequences) > 0 {
+		s.fail(w, http.StatusBadRequest, "bad_request", `set either "sequence" or "sequences", not both`)
+		return
+	}
+	seqs := req.Sequences
+	if single {
+		seqs = []string{req.Sequence}
+	}
+	if len(seqs) == 0 {
+		s.fail(w, http.StatusBadRequest, "bad_request", `missing "sequence" or "sequences"`)
+		return
+	}
+	if len(seqs) > s.maxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge, "too_large", "batch of %d exceeds the %d-sequence limit", len(seqs), s.maxBatch)
+		return
+	}
+	m, ok := s.reg.Get(req.Model)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "not_found", "unknown model %q", req.Model)
+		return
+	}
+
+	// Fan the batch across the shared pool. The model snapshot (m) is
+	// pinned for the whole request: a concurrent hot reload swaps the
+	// registry map but cannot mutate or retire this classifier.
+	ctx := r.Context()
+	results := make([]ClassifyResult, len(seqs))
+	s.pool.Run(len(seqs), func(i int) {
+		if ctx.Err() != nil {
+			results[i] = ClassifyResult{Cluster: -1, Error: "request canceled"}
+			return
+		}
+		a, err := m.Classifier.ClassifyString(seqs[i])
+		if err != nil {
+			results[i] = ClassifyResult{Cluster: -1, Error: err.Error()}
+			return
+		}
+		results[i] = ClassifyResult{
+			Cluster:     a.Cluster,
+			Outlier:     a.Cluster == -1,
+			Similarity:  a.Similarity,
+			Memberships: a.Memberships,
+		}
+	})
+
+	resp := ClassifyResponse{Model: req.Model, Results: results}
+	classified := 0
+	for _, res := range results {
+		if res.Error != "" {
+			continue
+		}
+		classified++
+		if res.Outlier {
+			resp.Outliers++
+		}
+	}
+	s.metrics.sequences.Add(int64(classified))
+	s.metrics.outliers.Add(int64(resp.Outliers))
+	s.metrics.perModel.Add(req.Model, int64(classified))
+	elapsed := time.Since(start)
+	s.metrics.observeLatency(elapsed)
+	resp.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
+	writeJSON(w, resp)
+}
+
+// ModelEntry is one model in the GET /v1/models listing.
+type ModelEntry struct {
+	Name     string    `json:"name"`
+	File     string    `json:"file"`
+	LoadedAt time.Time `json:"loaded_at"`
+	// Info carries the model's parameters and per-cluster tree sizes
+	// (core.ModelInfo).
+	Info any `json:"info"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add("models", 1)
+	models := s.reg.Models()
+	out := struct {
+		Models []ModelEntry `json:"models"`
+	}{Models: make([]ModelEntry, 0, len(models))}
+	for _, m := range models {
+		out.Models = append(out.Models, ModelEntry{
+			Name:     m.Name,
+			File:     m.Path,
+			LoadedAt: m.LoadedAt,
+			Info:     m.Classifier.Info(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add("reload", 1)
+	rep, err := s.reg.Reload()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "internal", "reload: %v", err)
+		return
+	}
+	s.logf("server: reload #%d: %d loaded, %d kept, %d removed, %d failed",
+		s.reg.Generation(), len(rep.Loaded), len(rep.Kept), len(rep.Removed), len(rep.Failed))
+	writeJSON(w, rep)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.reg.Len() == 0 {
+		s.metrics.errors.Add("unavailable", 1)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no models loaded")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.metrics.snapshot())
+}
