@@ -20,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"cluseq"
+	"cluseq/internal/prof"
 )
 
 func main() {
@@ -30,23 +31,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cluseq", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		k        = fs.Int("k", 1, "initial number of clusters")
-		c        = fs.Int("c", 30, "significance threshold (occurrences before a context is trusted)")
-		t0       = fs.Float64("t", 1.5, "initial similarity threshold (per-symbol normalized)")
-		fixedT   = fs.Bool("fixed-t", false, "disable automatic threshold adjustment")
-		fixedC   = fs.Bool("fixed-c", false, "disable adaptive significance scaling (paper's exact behaviour)")
-		depth    = fs.Int("depth", 10, "maximum PST context depth (short-memory bound L)")
-		maxBytes = fs.Int("pst-bytes", 0, "per-cluster PST memory cap in bytes (0 = unlimited)")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		workers  = fs.Int("workers", 0, "similarity-scoring parallelism (0 = all CPUs, 1 = serial; results are identical either way)")
-		cacheOff = fs.Bool("cache-off", false, "disable the cross-iteration similarity cache (re-score every pair each pass)")
-		verbose  = fs.Bool("v", false, "log per-iteration progress to stderr")
-		idsOnly  = fs.Bool("ids", false, "print only cluster member IDs, one cluster per line")
-		model    = fs.String("model", "", "write the trained cluster models to this file (for cmd/classify)")
+		k           = fs.Int("k", 1, "initial number of clusters")
+		c           = fs.Int("c", 30, "significance threshold (occurrences before a context is trusted)")
+		t0          = fs.Float64("t", 1.5, "initial similarity threshold (per-symbol normalized)")
+		fixedT      = fs.Bool("fixed-t", false, "disable automatic threshold adjustment")
+		fixedC      = fs.Bool("fixed-c", false, "disable adaptive significance scaling (paper's exact behaviour)")
+		depth       = fs.Int("depth", 10, "maximum PST context depth (short-memory bound L)")
+		maxBytes    = fs.Int("pst-bytes", 0, "per-cluster PST memory cap in bytes (0 = unlimited)")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		workers     = fs.Int("workers", 0, "similarity-scoring parallelism (0 = all CPUs, 1 = serial; results are identical either way)")
+		cacheOff    = fs.Bool("cache-off", false, "disable the cross-iteration similarity cache (re-score every pair each pass)")
+		snapshotOff = fs.Bool("snapshot-off", false, "disable compiled scoring snapshots (score by walking the live trees)")
+		verbose     = fs.Bool("v", false, "log per-iteration progress to stderr")
+		idsOnly     = fs.Bool("ids", false, "print only cluster member IDs, one cluster per line")
+		model       = fs.String("model", "", "write the trained cluster models to this file (for cmd/classify)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile  = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "cluseq:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "cluseq:", err)
+		}
+	}()
 
 	in := stdin
 	if fs.NArg() > 1 {
@@ -79,6 +94,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		Seed:                *seed,
 		Workers:             *workers,
 		CacheOff:            *cacheOff,
+		SnapshotOff:         *snapshotOff,
 		KeepTrees:           *model != "",
 	}
 	if *verbose {

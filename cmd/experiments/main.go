@@ -4,15 +4,22 @@
 // Usage:
 //
 //	experiments [-scale tiny|small|paper] [-seed N] [-run LIST] [-v]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // -run selects a comma-separated subset of: table2, table3, table4,
 // figure4, figure5, table5, table6, order, outliers, recluster,
-// figure6a, figure6b, figure6c, figure6d (default: all).
+// similarity, figure6a, figure6b, figure6c, figure6d (default: all).
 //
 // -bench-recluster FILE is a standalone mode: it runs only the
-// reclustering benchmark (similarity cache on/off × worker counts) and
-// writes the result as JSON to FILE (conventionally
-// BENCH_recluster.json), seeding the repository's perf trajectory.
+// reclustering benchmark (similarity cache on/off × scoring snapshots
+// on/off × worker counts) and writes the result as JSON to FILE
+// (conventionally BENCH_recluster.json), seeding the repository's perf
+// trajectory. -bench-similarity FILE does the same for the similarity
+// scan benchmark (tree scan vs compiled snapshot, conventionally
+// BENCH_similarity.json).
+//
+// -cpuprofile/-memprofile write standard pprof profiles covering the
+// selected runs; see EXPERIMENTS.md for the profiling workflow.
 //
 // The paper scale replays the exact workload sizes of the paper
 // (100,000 × 1000 synthetic, 8000 proteins) and can take hours; the
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"cluseq/internal/experiments"
+	"cluseq/internal/prof"
 )
 
 // result is what every experiment runner yields: printable and CSV-able.
@@ -58,6 +66,7 @@ func buildRunners(sc experiments.Scale, seed uint64) []runner {
 		{"order", func() (result, error) { return experiments.RunOrderStudy(sc, seed) }},
 		{"outliers", func() (result, error) { return experiments.RunOutlierStudy(sc, seed) }},
 		{"recluster", func() (result, error) { return experiments.RunReclusterBench(sc, seed) }},
+		{"similarity", func() (result, error) { return experiments.RunSimilarityBench(sc, seed) }},
 	}
 	for i, axis := range experiments.Figure6Axes {
 		axis := axis
@@ -79,17 +88,16 @@ func experimentNames() []string {
 	return names
 }
 
-// runReclusterBench executes the reclustering benchmark grid (similarity
-// cache on/off × worker counts), prints the table, and serializes the
-// result as indented JSON — the machine-readable perf baseline
-// successive revisions diff against.
-func runReclusterBench(sc experiments.Scale, seed uint64, path string) error {
+// runBenchJSON executes one benchmark runner, prints the table, and
+// serializes the result as indented JSON — the machine-readable perf
+// baseline successive revisions diff against.
+func runBenchJSON(name string, run func() (result, error), path string) error {
 	start := time.Now()
-	res, err := experiments.RunReclusterBench(sc, seed)
+	res, err := run()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("== recluster (took %.1fs) ==\n%s\n", time.Since(start).Seconds(), res)
+	fmt.Printf("== %s (took %.1fs) ==\n%s\n", name, time.Since(start).Seconds(), res)
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -98,44 +106,80 @@ func runReclusterBench(sc experiments.Scale, seed uint64, path string) error {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole program so deferred cleanups (profile flushing)
+// execute before the exit code is raised; main's os.Exit would skip
+// them.
+func run() int {
 	scaleFlag := flag.String("scale", "small", "workload scale: tiny|small|paper")
 	seed := flag.Uint64("seed", 1, "random seed for workload generation and clustering")
 	runFlag := flag.String("run", "all", "comma-separated experiments to run, or 'all'")
 	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
 	benchRecluster := flag.String("bench-recluster", "", "run only the reclustering benchmark and write it as JSON to this file (e.g. BENCH_recluster.json)")
+	benchSimilarity := flag.String("bench-similarity", "", "run only the similarity scan benchmark and write it as JSON to this file (e.g. BENCH_similarity.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile covering the selected runs to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
 	flag.Parse()
 
-	if *benchRecluster != "" {
-		sc, err := experiments.ParseScale(*scaleFlag)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if err := runReclusterBench(sc, *seed, *benchRecluster); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-
-	sc, err := experiments.ParseScale(*scaleFlag)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 1
+	}
+	code := 0
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+	code = runSelected(*scaleFlag, *seed, *runFlag, *csvDir, *benchRecluster, *benchSimilarity)
+	return code
+}
+
+func runSelected(scaleFlag string, seed uint64, runFlag, csvDir, benchRecluster, benchSimilarity string) int {
+	sc, err := experiments.ParseScale(scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
 
-	runners := buildRunners(sc, *seed)
+	if benchRecluster != "" || benchSimilarity != "" {
+		if benchRecluster != "" {
+			if err := runBenchJSON("recluster", func() (result, error) {
+				return experiments.RunReclusterBench(sc, seed)
+			}, benchRecluster); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		if benchSimilarity != "" {
+			if err := runBenchJSON("similarity", func() (result, error) {
+				return experiments.RunSimilarityBench(sc, seed)
+			}, benchSimilarity); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	runners := buildRunners(sc, seed)
 
 	selected := map[string]bool{}
-	all := *runFlag == "all"
-	for _, name := range strings.Split(*runFlag, ",") {
+	all := runFlag == "all"
+	for _, name := range strings.Split(runFlag, ",") {
 		selected[strings.TrimSpace(name)] = true
 	}
 
@@ -147,7 +191,7 @@ func main() {
 		for name := range selected {
 			if name != "" && !known[name] {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 		}
 	}
@@ -165,8 +209,8 @@ func main() {
 			continue
 		}
 		fmt.Printf("== %s (took %.1fs) ==\n%s\n", r.name, time.Since(start).Seconds(), res)
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, r.name+".csv")
+		if csvDir != "" {
+			path := filepath.Join(csvDir, r.name+".csv")
 			f, err := os.Create(path)
 			if err == nil {
 				err = experiments.WriteCSV(f, res)
@@ -181,6 +225,7 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -11,7 +11,7 @@ func TestExperimentNameRegistry(t *testing.T) {
 	want := []string{
 		"table2", "table3", "table4", "figure4", "figure5",
 		"table5", "table6", "order", "outliers", "recluster",
-		"figure6a", "figure6b", "figure6c", "figure6d",
+		"similarity", "figure6a", "figure6b", "figure6c", "figure6d",
 	}
 	got := experimentNames()
 	if len(got) != len(want) {

@@ -23,7 +23,12 @@ import (
 // concurrency note on pst.Tree). The serving daemon relies on this to
 // share one Classifier across all in-flight requests.
 type Classifier struct {
-	trees      []*pst.Tree
+	trees []*pst.Tree
+	// snaps holds one compiled scoring snapshot per tree (see
+	// pst.Snapshot). Classifier trees never mutate, so the snapshots
+	// compiled at construction stay valid for the classifier's lifetime
+	// and Classify scans flat arrays with no locks and no math.Log.
+	snaps      []*pst.Snapshot
 	background []float64
 	logT       float64
 	raw        bool
@@ -57,7 +62,17 @@ func NewClassifier(db *seq.Database, res *Result, cfg Config) (*Classifier, erro
 		}
 		c.trees = append(c.trees, cl.Tree)
 	}
+	c.compileSnapshots()
 	return c, nil
+}
+
+// compileSnapshots freezes every tree into its scoring snapshot; called
+// once per constructor, before the classifier is published to callers.
+func (c *Classifier) compileSnapshots() {
+	c.snaps = make([]*pst.Snapshot, len(c.trees))
+	for i, tree := range c.trees {
+		c.snaps[i] = tree.CompileSnapshot(c.background)
+	}
 }
 
 // Assignment is one classification outcome.
@@ -82,7 +97,14 @@ func (c *Classifier) Classify(symbols []seq.Symbol) Assignment {
 	}
 	bestIdx, bestNorm := -1, math.Inf(-1)
 	for i, tree := range c.trees {
-		sim := tree.SimilarityFast(symbols, c.background)
+		var sim pst.Similarity
+		if i < len(c.snaps) && c.snaps[i].Valid(tree) {
+			sim = c.snaps[i].Similarity(symbols)
+		} else {
+			// No compiled snapshot (classifier assembled without the
+			// constructors); the tree scan is bit-identical, just slower.
+			sim = tree.SimilarityFast(symbols, c.background)
+		}
 		norm := sim.LogSim
 		if !c.raw {
 			norm /= float64(len(symbols))
@@ -352,6 +374,7 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 		}
 		c.trees = append(c.trees, tree)
 	}
+	c.compileSnapshots()
 	return c, nil
 }
 

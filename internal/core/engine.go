@@ -24,6 +24,12 @@ type cluster struct {
 	// against this cluster's tree, stamped with the tree version it was
 	// computed at (see simCacheEntry). Allocated on first scoring.
 	cache []simCacheEntry
+	// snap is the compiled scoring snapshot of tree (see pst.Snapshot),
+	// refreshed by ensureSnapshot whenever the tree version moves. It is
+	// compiled serially before each parallel fan-out and read-only
+	// inside, so workers scan flat arrays with no locks. Nil when
+	// Config.SnapshotOff.
+	snap *pst.Snapshot
 }
 
 // simCacheEntry is one slot of a cluster's similarity cache. The entry
@@ -53,7 +59,7 @@ type engine struct {
 	pool *pool.Pool
 	// cacheHits counts (sequence, cluster) pairs whose similarity was
 	// still valid from an earlier pass; cacheMisses counts actual
-	// SimilarityFast evaluations. Reset per reclustering pass, atomic
+	// similarity evaluations. Reset per reclustering pass, atomic
 	// because the scoring phase updates them from pool workers.
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -247,9 +253,10 @@ func (e *engine) refine() {
 			}
 			sort.Ints(members)
 			segs := make([][2]int, len(members))
+			e.ensureSnapshot(c)
 			e.forEachWorker(len(members), func(i int) {
 				s := e.db.Sequences[members[i]]
-				sim := c.tree.SimilarityFast(s.Symbols, e.background)
+				sim := e.clusterSim(c, s.Symbols)
 				segs[i] = [2]int{sim.Start, sim.End}
 			})
 			for i, m := range members {
@@ -258,8 +265,10 @@ func (e *engine) refine() {
 			c.tree = tree
 			// Version stamps identify states of one tree only; swapping
 			// in a rebuilt tree (whose counter restarts) could collide
-			// with stale stamps, so the cache must go with the old tree.
+			// with stale stamps, so the cache — and the old tree's
+			// snapshot — must go with the old tree.
 			c.cache = nil
+			c.snap = nil
 		}
 		// Pure reassignment: no incremental insertion, so membership
 		// reflects exactly the rebuilt statistics. The rebuilt trees
@@ -297,6 +306,7 @@ func (e *engine) primaryAssignment() []int {
 			memberOf[m] = append(memberOf[m], ci)
 		}
 	}
+	e.ensureSnapshots()
 	e.forEachWorker(e.db.Len(), func(si int) {
 		clusters := memberOf[si]
 		if len(clusters) == 0 {
@@ -309,7 +319,7 @@ func (e *engine) primaryAssignment() []int {
 		s := e.db.Sequences[si]
 		best, bestSim := clusters[0], math.Inf(-1)
 		for _, ci := range clusters {
-			sim := e.normalizedLogSim(e.clusters[ci].tree.SimilarityFast(s.Symbols, e.background), len(s.Symbols))
+			sim := e.normalizedLogSim(e.clusterSim(e.clusters[ci], s.Symbols), len(s.Symbols))
 			if sim > bestSim {
 				bestSim = sim
 				best = ci
@@ -381,10 +391,11 @@ func (e *engine) generateClusters(kn int) int {
 	for i := range maxSim {
 		maxSim[i] = math.Inf(-1)
 	}
+	e.ensureSnapshots()
 	e.forEachWorker(m, func(i int) {
 		syms := e.db.Sequences[sample[i]].Symbols
 		for _, c := range e.clusters {
-			s := e.normalizedLogSim(c.tree.SimilarityFast(syms, e.background), len(syms))
+			s := e.normalizedLogSim(e.clusterSim(c, syms), len(syms))
 			if s > maxSim[i] {
 				maxSim[i] = s
 			}
@@ -416,19 +427,56 @@ func (e *engine) generateClusters(kn int) int {
 		c.tree.Insert(e.db.Sequences[idx].Symbols)
 		e.clusters = append(e.clusters, c)
 		created++
-		// Update remaining candidates against the new seed cluster.
+		// Update remaining candidates against the new seed cluster. The
+		// fresh seed tree is scored against every remaining candidate, so
+		// it is worth compiling too.
+		e.ensureSnapshot(c)
 		for i := 0; i < m; i++ {
 			if picked[i] {
 				continue
 			}
 			syms := e.db.Sequences[sample[i]].Symbols
-			s := e.normalizedLogSim(c.tree.SimilarityFast(syms, e.background), len(syms))
+			s := e.normalizedLogSim(e.clusterSim(c, syms), len(syms))
 			if s > maxSim[i] {
 				maxSim[i] = s
 			}
 		}
 	}
 	return created
+}
+
+// ensureSnapshot (re)compiles c's scoring snapshot when the tree has
+// moved past the one it holds. Must be called from the serial sections
+// only — compilation mutates c.snap, and concurrent Similarity calls
+// against a half-built snapshot would race.
+func (e *engine) ensureSnapshot(c *cluster) {
+	if e.cfg.SnapshotOff {
+		c.snap = nil
+		return
+	}
+	if !c.snap.Valid(c.tree) {
+		c.snap = c.tree.CompileSnapshot(e.background)
+	}
+}
+
+// ensureSnapshots refreshes every live cluster's snapshot; call before
+// any parallel scoring fan-out.
+func (e *engine) ensureSnapshots() {
+	for _, c := range e.clusters {
+		e.ensureSnapshot(c)
+	}
+}
+
+// clusterSim scores syms against cluster c: through the compiled
+// snapshot when it is current, else through the tree's own scan (the
+// mid-apply path, where a join just bumped the version — recompiling
+// per mutation would cost more than the pointer walk it saves). Both
+// produce bit-identical results by the snapshot contract.
+func (e *engine) clusterSim(c *cluster, syms []seq.Symbol) pst.Similarity {
+	if c.snap.Valid(c.tree) {
+		return c.snap.Similarity(syms)
+	}
+	return c.tree.SimilarityFast(syms, e.background)
 }
 
 // normalizedLogSim converts a similarity to the per-symbol log scale the
@@ -463,6 +511,7 @@ func (e *engine) scoreClusters() {
 			c.cache = make([]simCacheEntry, e.db.Len())
 		}
 	}
+	e.ensureSnapshots()
 	e.forEachWorker(e.db.Len(), func(si int) {
 		s := e.db.Sequences[si]
 		if len(s.Symbols) == 0 {
@@ -484,7 +533,7 @@ func (e *engine) scoreClusters() {
 func (e *engine) cachedSim(c *cluster, si int, syms []seq.Symbol, countHit bool) pst.Similarity {
 	ent := &c.cache[si]
 	if v := c.tree.Version(); ent.version != v {
-		ent.sim = c.tree.SimilarityFast(syms, e.background)
+		ent.sim = e.clusterSim(c, syms)
 		ent.version = v
 		e.cacheMisses.Add(1)
 	} else if countHit {

@@ -140,9 +140,24 @@ func (r *ReclusterBench) Table() (string, []string, [][]string) {
 		if row.CacheOff {
 			cache = "off"
 		}
-		rows[i] = []string{itoa(row.Workers), cache, itoa(row.Iterations),
+		snapshot := "on"
+		if row.SnapshotOff {
+			snapshot = "off"
+		}
+		rows[i] = []string{itoa(row.Workers), cache, snapshot, itoa(row.Iterations),
 			itoa(row.CacheHits), itoa(row.CacheMisses), pct(row.Accuracy), secs(row.Elapsed)}
 	}
-	return fmt.Sprintf("Recluster benchmark: similarity cache × workers (scale=%s)", r.Scale),
-		[]string{"workers", "cache", "iterations", "cache_hits", "cache_misses", "accuracy", "time"}, rows
+	return fmt.Sprintf("Recluster benchmark: similarity cache × snapshots × workers (scale=%s)", r.Scale),
+		[]string{"workers", "cache", "snapshot", "iterations", "cache_hits", "cache_misses", "accuracy", "time"}, rows
+}
+
+// Table returns the similarity benchmark contents.
+func (s *SimilarityBench) Table() (string, []string, [][]string) {
+	rows := make([][]string, len(s.Rows))
+	for i, r := range s.Rows {
+		rows[i] = []string{itoa(r.AlphabetSize), itoa(r.SeqLen), itoa(r.TreeNodes),
+			micros(r.TreePerScan), micros(r.SnapshotPerScan), f2(r.Speedup)}
+	}
+	return fmt.Sprintf("Similarity benchmark: tree scan vs compiled snapshot (scale=%s)", s.Scale),
+		[]string{"alphabet", "seq_len", "tree_nodes", "tree_us_per_scan", "snapshot_us_per_scan", "speedup"}, rows
 }

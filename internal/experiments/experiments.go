@@ -234,3 +234,6 @@ func secs(d time.Duration) string { return fmt.Sprintf("%.2fs", d.Seconds()) }
 func f2(v float64) string         { return fmt.Sprintf("%.2f", v) }
 func itoa(v int) string           { return fmt.Sprintf("%d", v) }
 func bytesMB(v int) string        { return fmt.Sprintf("%.2fMB", float64(v)/(1<<20)) }
+func micros(d time.Duration) string {
+	return fmt.Sprintf("%.1fus", float64(d.Nanoseconds())/1e3)
+}

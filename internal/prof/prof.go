@@ -1,0 +1,60 @@
+// Package prof wires the standard runtime/pprof file outputs behind the
+// conventional -cpuprofile/-memprofile flag pair, shared by the
+// command-line binaries so every entry point exposes profiling the same
+// way.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and, when memPath is
+// non-empty, writes a garbage-collected heap profile there. Either path
+// may be empty to skip that profile; Start with both empty returns a
+// no-op stop.
+//
+// The stop function must run before the process exits — defer it inside
+// a run() that returns an exit code rather than in a main that calls
+// os.Exit directly, since os.Exit skips deferred calls.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: creating heap profile: %w", err)
+			}
+			// Material allocations only: collect garbage first so the
+			// profile shows live memory, not transient churn.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("prof: writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("prof: closing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

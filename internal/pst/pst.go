@@ -23,7 +23,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"cluseq/internal/seq"
 )
@@ -169,7 +169,8 @@ func (n *Node) NextCount(s seq.Symbol) int64 { return n.next[s] }
 // phase relies on: cluster trees are frozen while workers score
 // sequences against them, and all tree updates happen in a serial apply
 // phase. (The background-log memoization inside the similarity scans is
-// guarded by an internal mutex and does not break the contract.)
+// an atomic immutable publish — lock-free for readers — and does not
+// break the contract.)
 //
 // Version exposes a monotonic mutation counter so callers can detect,
 // cheaply and exactly, whether a tree changed between two observations —
@@ -194,10 +195,9 @@ type Tree struct {
 	linksValid bool
 
 	// Cached ln(background) for the similarity scans, keyed by the
-	// background slice identity (see logBackground).
-	logBgMu  sync.Mutex
-	logBgSrc []float64
-	logBg    []float64
+	// background slice identity and published atomically so concurrent
+	// scoring workers never serialize on it (see logBackground).
+	logBg atomic.Pointer[logBgMemo]
 }
 
 // New returns an empty tree for the given configuration.

@@ -96,21 +96,32 @@ func (t *Tree) Similarity(symbols []seq.Symbol, background []float64) Similarity
 	return best
 }
 
+// logBgMemo is one immutable (source, ln(source)) pair. It is published
+// through an atomic pointer and never mutated after publication, so
+// readers take no lock.
+type logBgMemo struct {
+	src   []float64
+	logBg []float64
+}
+
 // logBackground caches ln(background) between calls: the similarity scan
 // is the hot loop of the whole clustering algorithm and the background
-// distribution is shared across every call of a run.
+// distribution is shared across every call of a run. The memo is an
+// atomic immutable publish rather than a mutex-guarded cache — every
+// scoring worker of a run hits this path for every Similarity* call
+// against the same frozen tree, and a per-tree mutex here measurably
+// serialized the engine's parallel scoring phase. Concurrent misses may
+// each compute the table once; ln is deterministic, so whichever
+// publication wins is identical.
 func (t *Tree) logBackground(background []float64) []float64 {
-	t.logBgMu.Lock()
-	defer t.logBgMu.Unlock()
-	if t.logBgSrc != nil && &t.logBgSrc[0] == &background[0] && len(t.logBgSrc) == len(background) {
-		return t.logBg
+	if m := t.logBg.Load(); m != nil && len(m.src) == len(background) && &m.src[0] == &background[0] {
+		return m.logBg
 	}
 	logBg := make([]float64, len(background))
 	for i, v := range background {
 		logBg[i] = math.Log(v)
 	}
-	t.logBgSrc = background
-	t.logBg = logBg
+	t.logBg.Store(&logBgMemo{src: background, logBg: logBg})
 	return logBg
 }
 

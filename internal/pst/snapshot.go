@@ -1,0 +1,464 @@
+package pst
+
+import (
+	"fmt"
+	"math"
+
+	"cluseq/internal/seq"
+)
+
+// Snapshot is an immutable, flat compilation of the scoring-relevant
+// structure of a Tree at one Version, specialized for one background
+// distribution. It exists because the §4.3 similarity scan is the hot
+// loop of everything built on this package — clustering iterations,
+// batch classification, the serving daemon — and the pointer-shaped
+// Tree pays per scored symbol for work that is invariant while the tree
+// is frozen:
+//
+//   - the Weiner-link extension / parent-climb loop of SimilarityFast
+//     becomes one transition-table lookup (trans[node·n+sym] when the
+//     table fits a budget, a sorted-edge walk with parent fallback
+//     otherwise),
+//   - the climb to the deepest significant ancestor becomes a
+//     precomputed per-node row index, and
+//   - the per-symbol probability adjustment (§5.2 PMin), the math.Log
+//     call, and the background-log subtraction are all folded into a
+//     precomputed ln P̂(s|ctx) − ln p(s) table — the scan performs zero
+//     logarithms and acquires zero locks.
+//
+// The compilation is exact, not approximate: Similarity returns results
+// bit-identical to Tree.SimilarityFast and Tree.Similarity (same
+// LogSim, Start, End, in every estimation mode). Two facts make the
+// node-level precomputation sound:
+//
+//   - a node's occurrence count never exceeds its parent's (a context's
+//     occurrences are a subset of its suffix's), so significance is
+//     monotone along every root path and "deepest significant
+//     ancestor-or-self of the deepest matching node" is exactly the
+//     prediction node §3's root-down walk finds;
+//   - the effective significance threshold (including the adaptive
+//     variant) depends only on tree state, which is frozen at compile
+//     time.
+//
+// The O(1)-per-symbol transition automaton has one additional soundness
+// requirement: the tree must be slink-closed — every node's context
+// minus its most recent symbol must itself be a node. Insert maintains
+// that closure (every context's suffixes are contexts of earlier
+// positions), but pruning can evict a node w while a node w·s survives
+// on another branch; the deepest-match state is then not a function of
+// (previous state, symbol) and no per-node transition table is exact.
+// For such trees the compiler falls back to a bounded-descent mode that
+// replays §3's root-down prediction walk over flat sorted child arrays:
+// O(L) per symbol like Tree.Similarity, but still allocation-, lock-
+// and logarithm-free.
+//
+// Shrinkage-mode trees (Config.Shrinkage > 0) blend probabilities along
+// the whole context path, which does not flatten into a per-node table;
+// for those the Snapshot transparently delegates to Tree.Similarity, so
+// callers can compile unconditionally and keep one code path.
+//
+// A Snapshot never observes later tree mutations: it copies everything
+// it needs at compile time (the delegating shrinkage path relies on the
+// caller's freeze discipline, exactly as SimilarityFast always has).
+// Callers detect staleness with Valid, which compares the tree identity
+// and Version stamp — the same invalidation rule the clustering
+// engine's similarity cache uses.
+//
+// Snapshots are safe for concurrent use by any number of goroutines.
+type Snapshot struct {
+	tree    *Tree
+	version uint64
+	n       int // alphabet size
+
+	// delegate: shrinkage-mode estimation cannot be compiled per node;
+	// Similarity falls through to tree.Similarity (bit-identical by
+	// construction, since that is also SimilarityFast's fallback).
+	delegate bool
+
+	// descend: the tree is not slink-closed (pruning evicted interior
+	// suffix contexts), so no exact transition automaton exists; scan by
+	// bounded root-down descent over the compiled child arrays instead.
+	descend  bool
+	maxDepth int
+
+	// Transition function over compiled node indices (root = 0): the
+	// index of the deepest node matching the context after one more
+	// symbol. Dense when numNodes·n fits denseTransLimit.
+	dense bool
+	trans []int32 // dense: trans[node*n + sym]
+
+	// Sparse fallback: per node, the symbols whose full extension
+	// (context·sym as the new most recent symbol) exists in the tree,
+	// sorted for binary search; a miss retries on the parent, whose
+	// context is the next shorter suffix.
+	edgeStart []int32
+	edgeSym   []seq.Symbol
+	edgeDst   []int32
+	parent    []int32
+
+	// Descent mode: the tree's own child edges (one more context symbol
+	// back in time), sorted per node for binary search.
+	childStart []int32
+	childSym   []seq.Symbol
+	childDst   []int32
+
+	// row[node] indexes the precomputed score row of the node's deepest
+	// significant ancestor-or-self; logRatio[row*n + sym] is the fully
+	// adjusted ln P̂(sym | ctx) − ln p(sym) (−Inf for impossible symbols).
+	row      []int32
+	logRatio []float64
+
+	background []float64 // the distribution the ratios were folded with
+}
+
+// denseTransLimit caps the dense transition table at numNodes·alphabet
+// entries (int32 each, so 16 MiB at the default). Beyond it compilation
+// switches to the sorted-edge representation, trading the O(1) lookup
+// for an amortized-O(1) climb — the same amortization argument as the
+// fastscan links. Variable so tests can force the sparse path cheaply.
+var denseTransLimit = 1 << 22
+
+// CompileSnapshot compiles the tree's current state against the given
+// background distribution (the memoryless p(s) of the database, as for
+// Similarity; its length must equal the alphabet size). The tree must
+// not be mutated during compilation; afterwards the Snapshot is
+// independent of further tree changes (and Valid reports them).
+func (t *Tree) CompileSnapshot(background []float64) *Snapshot {
+	if len(background) != t.cfg.AlphabetSize {
+		panic(fmt.Sprintf("pst: background distribution has %d entries, alphabet has %d", len(background), t.cfg.AlphabetSize))
+	}
+	s := &Snapshot{
+		tree:       t,
+		version:    t.version,
+		n:          t.cfg.AlphabetSize,
+		background: background,
+	}
+	if t.cfg.Shrinkage > 0 {
+		s.delegate = true
+		return s
+	}
+
+	// Flatten the tree in breadth-first order with per-node children
+	// sorted by edge symbol: a node's parent always precedes it (so the
+	// recurrences below read parent data that is already final), sibling
+	// order is deterministic, and child lookup becomes a binary search
+	// over one contiguous span. The compile path deliberately builds
+	// arrays rather than maps — it runs once per (tree version, scoring
+	// pass) and must stay cheap relative to the scans it accelerates.
+	n := s.n
+	num := t.numNodes
+	nodes := make([]*Node, 0, num)
+	parent := make([]int32, num)
+	edge := make([]seq.Symbol, num)
+	first := make([]seq.Symbol, num) // most recent context symbol (root edge of the path)
+	s.childStart = make([]int32, num+1)
+	s.childSym = make([]seq.Symbol, 0, num-1)
+	s.childDst = make([]int32, 0, num-1)
+	nodes = append(nodes, t.root)
+	var syms []seq.Symbol
+	for head := 0; head < len(nodes); head++ {
+		nd := nodes[head]
+		s.childStart[head] = int32(len(s.childSym))
+		syms = syms[:0]
+		for sym := range nd.children {
+			syms = append(syms, sym)
+		}
+		for j := 1; j < len(syms); j++ { // insertion sort: child lists are short
+			for k := j; k > 0 && syms[k] < syms[k-1]; k-- {
+				syms[k], syms[k-1] = syms[k-1], syms[k]
+			}
+		}
+		for _, sym := range syms {
+			ci := int32(len(nodes))
+			nodes = append(nodes, nd.children[sym])
+			parent[ci] = int32(head)
+			edge[ci] = sym
+			if head == 0 {
+				first[ci] = sym
+			} else {
+				first[ci] = first[head]
+			}
+			s.childSym = append(s.childSym, sym)
+			s.childDst = append(s.childDst, ci)
+		}
+	}
+	s.childStart[num] = int32(len(s.childSym))
+
+	// Score rows: one per prediction-capable node (root + significant
+	// nodes); every other node inherits the row of its deepest
+	// significant ancestor — exact because significance is monotone
+	// along root paths. The row entries replay the scan's arithmetic —
+	// adjust(prob) then Log minus the background log — so the compiled
+	// values are bit-identical to what Tree.Similarity computes per
+	// symbol.
+	logBg := t.logBackground(background)
+	s.row = make([]int32, num)
+	rows := 0
+	for i, nd := range nodes {
+		if i == 0 || t.Significant(nd) {
+			s.row[i] = int32(rows)
+			rows++
+		} else {
+			s.row[i] = s.row[parent[i]]
+		}
+	}
+	s.logRatio = make([]float64, rows*n)
+	for i, nd := range nodes {
+		if i != 0 && !t.Significant(nd) {
+			continue
+		}
+		base := int(s.row[i]) * n
+		for sym := 0; sym < n; sym++ {
+			p := t.adjust(t.prob(nd, seq.Symbol(sym)))
+			if p <= 0 {
+				s.logRatio[base+sym] = math.Inf(-1)
+			} else {
+				s.logRatio[base+sym] = math.Log(p) - logBg[sym]
+			}
+		}
+	}
+
+	// Suffix links, recomputed from structure alone (so pruned and
+	// deserialized trees — whose in-tree fastscan links are invalid —
+	// compile just as well): sl[x] is the node for x's context minus its
+	// most recent symbol, via the same recurrence attachLinks uses,
+	// sl[x] = child(sl[parent[x]], edge[x]).
+	//
+	// The links double as the slink-closure check. Every depth ≥ 1 node
+	// y is the full extension (one more recent symbol) of exactly one
+	// candidate node — sl[y] — so the transition automaton below is
+	// exact iff every sl resolves. A miss means pruning evicted an
+	// interior suffix context: the deepest match then depends on history
+	// beyond the current automaton state and no per-node transition
+	// table is exact, so the snapshot keeps the child arrays and scans
+	// by bounded descent instead (mirroring how SimilarityFast abandons
+	// its links after pruning).
+	sl := make([]int32, num)
+	closed := true
+	for i := 1; i < num && closed; i++ {
+		if nodes[i].depth == 1 {
+			continue // sl = root
+		}
+		target := s.child(sl[parent[i]], edge[i])
+		if target < 0 {
+			closed = false
+			break
+		}
+		sl[i] = target
+	}
+	if !closed {
+		s.descend = true
+		s.maxDepth = t.cfg.MaxDepth
+		return s
+	}
+
+	// Full-extension lists, grouped by source: y extends sl[y] by
+	// first[y] (the node whose context is sl[y]'s context with first[y]
+	// appended as the new most recent symbol). Counting sort by source
+	// keeps compilation linear.
+	extCount := make([]int32, num+1)
+	for y := 1; y < num; y++ {
+		extCount[sl[y]+1]++
+	}
+	extStart := make([]int32, num+1)
+	for i := 0; i < num; i++ {
+		extStart[i+1] = extStart[i] + extCount[i+1]
+	}
+	extSym := make([]seq.Symbol, num-1)
+	extDst := make([]int32, num-1)
+	fill := make([]int32, num)
+	copy(fill, extStart[:num])
+	for y := 1; y < num; y++ {
+		src := sl[y]
+		p := fill[src]
+		fill[src]++
+		extSym[p] = first[y]
+		extDst[p] = int32(y)
+	}
+
+	// Transition tables. The deepest match after consuming sym is the
+	// full extension of the deepest ancestor-or-self that has one —
+	// trans[x][sym] = ext(x, sym), else trans[parent(x)][sym], with the
+	// root transitioning to its sym child or staying put.
+	if num*n <= denseTransLimit {
+		s.dense = true
+		s.trans = make([]int32, num*n)
+		// Root row first: its extensions are exactly its children (the
+		// suffix link of a depth-1 node is the root) and its non-child
+		// transitions stay at the root (index 0, the zero value). Each
+		// later row starts as a copy of its parent's final row and then
+		// applies its own extension overrides — exactly the
+		// trans[x][sym] = ext(x, sym) else trans[parent(x)][sym]
+		// recurrence, resolved by BFS order.
+		for j := extStart[0]; j < extStart[1]; j++ {
+			s.trans[int(extSym[j])] = extDst[j]
+		}
+		for i := 1; i < num; i++ {
+			base := i * n
+			copy(s.trans[base:base+n], s.trans[int(parent[i])*n:int(parent[i])*n+n])
+			for j := extStart[i]; j < extStart[i+1]; j++ {
+				s.trans[base+int(extSym[j])] = extDst[j]
+			}
+		}
+	} else {
+		s.parent = parent
+		s.edgeStart = extStart
+		s.edgeSym = extSym
+		s.edgeDst = extDst
+		// Sort each source's extensions by symbol for binary search
+		// (counting sort grouped but ordered targets by BFS index).
+		for i := 0; i < num; i++ {
+			lo, hi := int(extStart[i]), int(extStart[i+1])
+			for j := lo + 1; j < hi; j++ {
+				for k := j; k > lo && extSym[k] < extSym[k-1]; k-- {
+					extSym[k], extSym[k-1] = extSym[k-1], extSym[k]
+					extDst[k], extDst[k-1] = extDst[k-1], extDst[k]
+				}
+			}
+		}
+	}
+	// The child arrays only serve compilation and descent mode; free
+	// them for automaton snapshots.
+	s.childStart, s.childSym, s.childDst = nil, nil, nil
+	return s
+}
+
+// Version returns the tree Version the snapshot was compiled at.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Tree returns the tree the snapshot was compiled from.
+func (s *Snapshot) Tree() *Tree { return s.tree }
+
+// Valid reports whether the snapshot still reflects t exactly: it was
+// compiled from this very tree and the tree has not mutated since. This
+// is the same version-stamp rule that makes the engine's similarity
+// cache exact (see Tree.Version).
+func (s *Snapshot) Valid(t *Tree) bool {
+	return s != nil && s.tree == t && s.version == t.Version()
+}
+
+// child returns the compiled index of cur's child along edge symbol sym,
+// or −1 — the descent-mode equivalent of the tree's child-map lookup.
+func (s *Snapshot) child(cur int32, sym seq.Symbol) int32 {
+	lo, hi := s.childStart[cur], s.childStart[cur+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.childSym[mid] < sym {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.childStart[cur+1] && s.childSym[lo] == sym {
+		return s.childDst[lo]
+	}
+	return -1
+}
+
+// similarityDescend is the exact compiled replay of Tree.Similarity for
+// trees without slink closure: a bounded root-down descent locates each
+// position's deepest matching node, and the precomputed rows supply the
+// adjusted log ratio. O(l·L) like the tree scan it mirrors, but free of
+// pointer chasing, locks, and logarithms.
+func (s *Snapshot) similarityDescend(symbols []seq.Symbol) Similarity {
+	best := Similarity{LogSim: math.Inf(-1)}
+	logY := math.Inf(-1)
+	yStart := 0
+	n := s.n
+	for i, sym := range symbols {
+		var cur int32
+		for d := 1; d <= s.maxDepth && i-d >= 0; d++ {
+			c := s.child(cur, symbols[i-d])
+			if c < 0 {
+				break
+			}
+			cur = c
+		}
+		logX := s.logRatio[int(s.row[cur])*n+int(sym)]
+		if logY+logX >= logX {
+			logY += logX
+		} else {
+			logY = logX
+			yStart = i
+		}
+		if logY > best.LogSim {
+			best.LogSim = logY
+			best.Start = yStart
+			best.End = i + 1
+		}
+	}
+	return best
+}
+
+// step advances the sparse transition function: find the sym edge on the
+// deepest ancestor-or-self that has one, else land at the root (which
+// either steps to its sym child via its own edge list or stays).
+func (s *Snapshot) step(cur int32, sym seq.Symbol) int32 {
+	for {
+		lo, hi := s.edgeStart[cur], s.edgeStart[cur+1]
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.edgeSym[mid] < sym {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < s.edgeStart[cur+1] && s.edgeSym[lo] == sym {
+			return s.edgeDst[lo]
+		}
+		if cur == 0 {
+			return 0
+		}
+		cur = s.parent[cur]
+	}
+}
+
+// Similarity computes SIM_S(σ) exactly as Tree.Similarity and
+// Tree.SimilarityFast do — same dynamic program, bit-identical result —
+// against the background distribution the snapshot was compiled with.
+// It performs no locking and no logarithms; each scored symbol costs
+// one table load for the score and one transition step.
+func (s *Snapshot) Similarity(symbols []seq.Symbol) Similarity {
+	if s.delegate {
+		return s.tree.Similarity(symbols, s.background)
+	}
+	if len(symbols) == 0 {
+		return Similarity{LogSim: math.Inf(-1)}
+	}
+	if s.descend {
+		return s.similarityDescend(symbols)
+	}
+	best := Similarity{LogSim: math.Inf(-1)}
+	logY := math.Inf(-1)
+	yStart := 0
+
+	n := s.n
+	row, ratio := s.row, s.logRatio
+	var cur int32 // deepest node matching the current context suffix
+	for i, sym := range symbols {
+		logX := ratio[int(row[cur])*n+int(sym)]
+		if logY+logX >= logX { // extending beats restarting (logY >= 0)
+			logY += logX
+		} else {
+			logY = logX
+			yStart = i
+		}
+		if logY > best.LogSim {
+			best.LogSim = logY
+			best.Start = yStart
+			best.End = i + 1
+		}
+		if s.dense {
+			cur = s.trans[int(cur)*n+int(sym)]
+		} else {
+			cur = s.step(cur, sym)
+		}
+	}
+	return best
+}
+
+// SimilaritySeq is Similarity applied to a seq.Sequence.
+func (s *Snapshot) SimilaritySeq(sq *seq.Sequence) Similarity {
+	return s.Similarity(sq.Symbols)
+}

@@ -1,0 +1,282 @@
+package pst
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"cluseq/internal/seq"
+)
+
+// requireIdentical asserts the three scan implementations agree
+// bit-for-bit — the defining property of the compiled snapshot.
+func requireIdentical(t *testing.T, tree *Tree, snap *Snapshot, probe []seq.Symbol, bg []float64) {
+	t.Helper()
+	slow := tree.Similarity(probe, bg)
+	fast := tree.SimilarityFast(probe, bg)
+	comp := snap.Similarity(probe)
+	if slow != fast {
+		t.Fatalf("SimilarityFast %+v != Similarity %+v (probe %v)", fast, slow, probe)
+	}
+	if comp != slow {
+		t.Fatalf("Snapshot %+v != Similarity %+v (probe %v)", comp, slow, probe)
+	}
+}
+
+func uniformBg(n int) []float64 {
+	bg := make([]float64, n)
+	for i := range bg {
+		bg[i] = 1 / float64(n)
+	}
+	return bg
+}
+
+// TestSnapshotMatchesTreeRandom sweeps random trees across the
+// estimator's configuration space: PMin on/off, adaptive significance,
+// and both transition-table representations.
+func TestSnapshotMatchesTreeRandom(t *testing.T) {
+	for _, sparse := range []bool{false, true} {
+		name := "dense"
+		if sparse {
+			name = "sparse"
+		}
+		t.Run(name, func(t *testing.T) {
+			if sparse {
+				old := denseTransLimit
+				denseTransLimit = 0
+				defer func() { denseTransLimit = old }()
+			}
+			rng := rand.New(rand.NewPCG(41, 42))
+			for trial := 0; trial < 80; trial++ {
+				alpha := 2 + rng.IntN(7)
+				cfg := Config{
+					AlphabetSize: alpha,
+					MaxDepth:     1 + rng.IntN(6),
+					Significance: 1 + rng.IntN(8),
+				}
+				if rng.IntN(2) == 0 {
+					cfg.PMin = 0.5 / float64(alpha) * rng.Float64()
+				}
+				cfg.AdaptiveSignificance = rng.IntN(2) == 0
+				tree := MustNew(cfg)
+				for k := 0; k < 1+rng.IntN(4); k++ {
+					tree.Insert(randomSymbols(rng, 20+rng.IntN(150), alpha))
+				}
+				bg := make([]float64, alpha)
+				total := 0.0
+				for i := range bg {
+					bg[i] = 0.1 + rng.Float64()
+					total += bg[i]
+				}
+				for i := range bg {
+					bg[i] /= total
+				}
+				snap := tree.CompileSnapshot(bg)
+				if !snap.Valid(tree) {
+					t.Fatal("fresh snapshot must be valid")
+				}
+				for probe := 0; probe < 6; probe++ {
+					requireIdentical(t, tree, snap, randomSymbols(rng, 1+rng.IntN(90), alpha), bg)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotPrunedTree compiles from a pruned tree, whose fastscan
+// links are invalid: the snapshot rebuilds transitions from structure
+// alone and must still match the (fallen-back) tree scans exactly.
+func TestSnapshotPrunedTree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 44))
+	tree := MustNew(Config{AlphabetSize: 4, MaxDepth: 5, Significance: 2, PMin: 0.01})
+	tree.Insert(randomSymbols(rng, 400, 4))
+	tree.Prune(tree.NumNodes() / 2)
+	if tree.linksValid {
+		t.Fatal("pruning must invalidate the auxiliary links")
+	}
+	bg := uniformBg(4)
+	snap := tree.CompileSnapshot(bg)
+	for probe := 0; probe < 20; probe++ {
+		requireIdentical(t, tree, snap, randomSymbols(rng, 1+rng.IntN(80), 4), bg)
+	}
+}
+
+// TestSnapshotNoSmoothing pins the PMin=0 regime, where impossible
+// symbols contribute −Inf and restart the running segment.
+func TestSnapshotNoSmoothing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(45, 46))
+	tree := MustNew(Config{AlphabetSize: 3, MaxDepth: 4, Significance: 1})
+	tree.Insert(randomSymbols(rng, 50, 2)) // symbol 2 never seen
+	bg := []float64{0.4, 0.4, 0.2}
+	snap := tree.CompileSnapshot(bg)
+	for probe := 0; probe < 20; probe++ {
+		requireIdentical(t, tree, snap, randomSymbols(rng, 1+rng.IntN(40), 3), bg)
+	}
+}
+
+// TestSnapshotShrinkageDelegates covers the shrinkage estimator, which
+// cannot be compiled per node: the snapshot must delegate and still be
+// exact.
+func TestSnapshotShrinkageDelegates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 48))
+	tree := MustNew(Config{AlphabetSize: 5, MaxDepth: 4, Significance: 3, Shrinkage: 8, PMin: 0.01})
+	tree.Insert(randomSymbols(rng, 300, 5))
+	bg := uniformBg(5)
+	snap := tree.CompileSnapshot(bg)
+	if !snap.delegate {
+		t.Fatal("shrinkage-mode snapshot must delegate to the tree scan")
+	}
+	for probe := 0; probe < 20; probe++ {
+		requireIdentical(t, tree, snap, randomSymbols(rng, 1+rng.IntN(80), 5), bg)
+	}
+}
+
+// TestSnapshotEmptyTreeAndEmptyProbe pins the degenerate inputs.
+func TestSnapshotEmptyTreeAndEmptyProbe(t *testing.T) {
+	bg := uniformBg(3)
+	for _, pmin := range []float64{0, 0.05} {
+		tree := MustNew(Config{AlphabetSize: 3, MaxDepth: 3, Significance: 2, PMin: pmin})
+		snap := tree.CompileSnapshot(bg)
+		if got := snap.Similarity(nil); !math.IsInf(got.LogSim, -1) || got.Start != 0 || got.End != 0 {
+			t.Fatalf("empty probe: got %+v", got)
+		}
+		requireIdentical(t, tree, snap, []seq.Symbol{0, 1, 2, 2, 1}, bg)
+	}
+}
+
+// TestSnapshotValidTracksVersion: any tree mutation must invalidate the
+// snapshot, and snapshots must not be transferable across trees.
+func TestSnapshotValidTracksVersion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(49, 50))
+	tree := MustNew(Config{AlphabetSize: 4, MaxDepth: 3, Significance: 2})
+	tree.Insert(randomSymbols(rng, 60, 4))
+	bg := uniformBg(4)
+	snap := tree.CompileSnapshot(bg)
+	if !snap.Valid(tree) {
+		t.Fatal("snapshot must be valid right after compilation")
+	}
+	other := MustNew(Config{AlphabetSize: 4, MaxDepth: 3, Significance: 2})
+	if snap.Valid(other) {
+		t.Fatal("snapshot must not validate against a different tree")
+	}
+	tree.Insert(randomSymbols(rng, 5, 4))
+	if snap.Valid(tree) {
+		t.Fatal("snapshot must be invalid after a mutation")
+	}
+	if snap.Version() == tree.Version() {
+		t.Fatal("version stamp should lag the mutated tree")
+	}
+	// The stale snapshot still answers exactly for the state it froze —
+	// recompiling at the new version must match the live tree again.
+	fresh := tree.CompileSnapshot(bg)
+	probe := randomSymbols(rng, 40, 4)
+	if got, want := fresh.Similarity(probe), tree.Similarity(probe, bg); got != want {
+		t.Fatalf("recompiled snapshot %+v != tree %+v", got, want)
+	}
+}
+
+// TestSnapshotBackgroundMismatchPanics keeps the compile contract
+// aligned with Similarity's.
+func TestSnapshotBackgroundMismatchPanics(t *testing.T) {
+	tree := MustNew(Config{AlphabetSize: 3, MaxDepth: 3, Significance: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CompileSnapshot must panic on a mis-sized background")
+		}
+	}()
+	tree.CompileSnapshot([]float64{0.5, 0.5})
+}
+
+// FuzzSnapshotSimilarity drives random construction and probes through
+// all three scans, including pruning (which exercises the
+// links-invalid compile path).
+func FuzzSnapshotSimilarity(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 0, 1}, []byte{2, 1, 0}, false)
+	f.Add(uint64(7), []byte{3, 3, 3, 1}, []byte{1, 3, 1, 3}, true)
+	f.Fuzz(func(t *testing.T, seed uint64, data []byte, probeBytes []byte, prune bool) {
+		alpha := 2 + int(seed%7)
+		cfg := Config{
+			AlphabetSize:         alpha,
+			MaxDepth:             1 + int(seed%5),
+			Significance:         1 + int(seed%6),
+			AdaptiveSignificance: seed%2 == 0,
+		}
+		if seed%3 == 0 {
+			cfg.PMin = 0.1 / float64(alpha)
+		}
+		tree := MustNew(cfg)
+		segment := make([]seq.Symbol, 0, len(data))
+		for _, b := range data {
+			segment = append(segment, seq.Symbol(int(b)%alpha))
+		}
+		tree.Insert(segment)
+		if prune && tree.NumNodes() > 4 {
+			tree.Prune(tree.NumNodes() / 2)
+		}
+		probe := make([]seq.Symbol, 0, len(probeBytes))
+		for _, b := range probeBytes {
+			probe = append(probe, seq.Symbol(int(b)%alpha))
+		}
+		bg := uniformBg(alpha)
+		snap := tree.CompileSnapshot(bg)
+		slow := tree.Similarity(probe, bg)
+		fast := tree.SimilarityFast(probe, bg)
+		comp := snap.Similarity(probe)
+		if slow != fast || comp != slow {
+			t.Fatalf("scan mismatch: slow %+v fast %+v snapshot %+v", slow, fast, comp)
+		}
+	})
+}
+
+// benchTree builds a deterministic scoring workload: a tree grown from
+// cluster-like segments plus probe sequences to score against it.
+func benchTree(b *testing.B, alpha, seqLen int) (*Tree, [][]seq.Symbol, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(61, 62))
+	tree := MustNew(Config{AlphabetSize: alpha, MaxDepth: 6, Significance: 10, PMin: 0.25 / float64(alpha)})
+	for i := 0; i < 40; i++ {
+		tree.Insert(randomSymbols(rng, seqLen, alpha))
+	}
+	probes := make([][]seq.Symbol, 16)
+	for i := range probes {
+		probes[i] = randomSymbols(rng, seqLen, alpha)
+	}
+	return tree, probes, uniformBg(alpha)
+}
+
+// BenchmarkSimilarity compares the pointer-walking tree scans with the
+// compiled snapshot on the same workload — the acceptance benchmark for
+// the snapshot optimization.
+func BenchmarkSimilarity(b *testing.B) {
+	for _, size := range []struct {
+		name        string
+		alpha, slen int
+	}{
+		{"alpha10_len200", 10, 200},
+		{"alpha50_len500", 50, 500},
+	} {
+		tree, probes, bg := benchTree(b, size.alpha, size.slen)
+		snap := tree.CompileSnapshot(bg)
+		b.Run(size.name+"/tree", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tree.SimilarityFast(probes[i%len(probes)], bg)
+			}
+		})
+		b.Run(size.name+"/snapshot", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				snap.Similarity(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+// BenchmarkCompileSnapshot prices the compilation itself, the cost the
+// engine pays once per (cluster, scoring pass).
+func BenchmarkCompileSnapshot(b *testing.B) {
+	tree, _, bg := benchTree(b, 20, 300)
+	b.ReportMetric(float64(tree.NumNodes()), "nodes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.CompileSnapshot(bg)
+	}
+}
