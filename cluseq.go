@@ -29,6 +29,7 @@ import (
 
 	"cluseq/internal/core"
 	"cluseq/internal/eval"
+	"cluseq/internal/obs"
 	"cluseq/internal/pst"
 	"cluseq/internal/registry"
 	"cluseq/internal/seq"
@@ -179,6 +180,26 @@ type (
 // ModelBundleExt is the filename extension the registry requires of a
 // model bundle.
 const ModelBundleExt = registry.Ext
+
+// Observability types, re-exported from internal/obs (see DESIGN.md
+// §10 for the metric catalogue and span taxonomy).
+type (
+	// Metrics is a registry of named counters, gauges, and timing
+	// histograms. Attach one to Options.Obs to meter a clustering run,
+	// or to ServerConfig.Obs to share one exposition across the daemon.
+	Metrics = obs.Registry
+	// Tracer writes phase spans as JSON Lines to an io.Writer. Attach to
+	// Options.Tracer to record one span per outer-loop phase per
+	// iteration.
+	Tracer = obs.Tracer
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTracer returns a tracer emitting JSONL records to w; the caller
+// owns w and should check Tracer.Err once tracing is done.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 
 // OpenModelRegistry scans dir and loads every model bundle in it. The
 // report lists what loaded and what failed; the call errors only when

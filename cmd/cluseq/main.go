@@ -47,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		model       = fs.String("model", "", "write the trained cluster models to this file (for cmd/classify)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
+		traceOut    = fs.String("trace-out", "", "write phase spans and a final metrics snapshot as JSON Lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -102,10 +103,35 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
+	var (
+		tracer    *cluseq.Tracer
+		traceFile *os.File
+	)
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "cluseq:", err)
+			return 1
+		}
+		tracer = cluseq.NewTracer(traceFile)
+		opts.Tracer = tracer
+		opts.Obs = cluseq.NewMetrics()
+	}
 	res, err := cluseq.Cluster(db, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "cluseq:", err)
 		return 1
+	}
+	if tracer != nil {
+		tracer.EmitMetrics(opts.Obs)
+		if err := tracer.Err(); err != nil {
+			fmt.Fprintln(stderr, "cluseq: writing trace:", err)
+			return 1
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(stderr, "cluseq: writing trace:", err)
+			return 1
+		}
 	}
 
 	if *model != "" {

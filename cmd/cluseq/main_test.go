@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -92,6 +94,59 @@ func TestRunModelRoundTrip(t *testing.T) {
 	}
 	if clf.NumClusters() < 2 {
 		t.Fatalf("model has %d clusters", clf.NumClusters())
+	}
+}
+
+// TestRunTraceOut pins the -trace-out contract: every line of the
+// output file is a JSON record, spans cover the clustering phases, and
+// the file ends with one metrics snapshot.
+func TestRunTraceOut(t *testing.T) {
+	path := writeTestDB(t)
+	traceFile := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out, errOut strings.Builder
+	code := run([]string{"-c", "12", "-t", "1.05", "-depth", "5", "-fixed-c", "-trace-out", traceFile, path},
+		strings.NewReader(""), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	spans := map[string]int{}
+	metricsRecords := 0
+	for i, line := range lines {
+		var rec struct {
+			Type    string         `json:"type"`
+			Name    string         `json:"name"`
+			Metrics map[string]any `json:"metrics"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		switch rec.Type {
+		case "span":
+			spans[rec.Name]++
+		case "metrics":
+			metricsRecords++
+			if rec.Metrics["cluseq_engine_iterations_total"] == nil {
+				t.Fatalf("metrics snapshot missing the iteration counter: %s", line)
+			}
+		default:
+			t.Fatalf("unexpected record type %q on line %d", rec.Type, i+1)
+		}
+	}
+	for _, phase := range []string{"generate", "score", "apply", "consolidate", "threshold"} {
+		if spans[phase] == 0 {
+			t.Errorf("no %q spans in trace", phase)
+		}
+	}
+	if metricsRecords != 1 {
+		t.Errorf("metrics records = %d, want exactly 1 (final snapshot)", metricsRecords)
+	}
+	if lines[len(lines)-1] == "" || !strings.Contains(lines[len(lines)-1], `"type":"metrics"`) {
+		t.Errorf("trace must end with the metrics snapshot, got: %s", lines[len(lines)-1])
 	}
 }
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	cluseqd -models DIR [-addr :8080] [-timeout 30s] [-max-batch 1024]
-//	        [-workers N] [-drain 10s] [-v]
+//	        [-workers N] [-drain 10s] [-pprof] [-v]
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -15,7 +15,9 @@
 //	GET  /v1/models         loaded models with parameters and tree sizes
 //	POST /v1/models/reload  rescan the model directory
 //	GET  /healthz, /readyz  liveness and readiness
-//	GET  /metrics           request/error/latency/outlier counters
+//	GET  /metrics           request/error/latency/outlier counters (JSON);
+//	                        ?format=prom for Prometheus text exposition
+//	GET  /debug/pprof/      Go runtime profiles, only with -pprof
 //
 // On SIGINT or SIGTERM the daemon stops accepting connections and gives
 // in-flight requests up to -drain to complete before exiting.
@@ -28,6 +30,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,13 +52,14 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 	fs := flag.NewFlagSet("cluseqd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		models   = fs.String("models", "", "directory of *"+cluseq.ModelBundleExt+" model bundles (required)")
-		timeout  = fs.Duration("timeout", 30*time.Second, "per-request timeout (0 = none)")
-		maxBatch = fs.Int("max-batch", 1024, "maximum sequences per classify request")
-		workers  = fs.Int("workers", 0, "classification parallelism shared across requests (0 = all CPUs)")
-		drain    = fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight requests")
-		verbose  = fs.Bool("v", false, "log per-request refusals and reloads")
+		addr      = fs.String("addr", ":8080", "listen address")
+		models    = fs.String("models", "", "directory of *"+cluseq.ModelBundleExt+" model bundles (required)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request timeout (0 = none)")
+		maxBatch  = fs.Int("max-batch", 1024, "maximum sequences per classify request")
+		workers   = fs.Int("workers", 0, "classification parallelism shared across requests (0 = all CPUs)")
+		drain     = fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight requests")
+		verbose   = fs.Bool("v", false, "log per-request refusals and reloads")
+		withPprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints leak internals)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,8 +102,22 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 		fmt.Fprintln(stderr, "cluseqd:", err)
 		return 1
 	}
+	handler := srv.Handler()
+	if *withPprof {
+		// Mount the pprof handlers on an explicit mux rather than serving
+		// http.DefaultServeMux, so nothing else registered there leaks.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logf("cluseqd: pprof enabled under /debug/pprof/")
+	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	logf("cluseqd: listening on %s", ln.Addr())

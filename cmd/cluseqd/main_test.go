@@ -298,6 +298,74 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonPprofAndProm covers the two opt-in observability surfaces:
+// /debug/pprof/ exists only under -pprof, and /metrics?format=prom
+// serves a well-formed Prometheus exposition either way.
+func TestDaemonPprofAndProm(t *testing.T) {
+	dir := t.TempDir()
+	trainBundle(t, filepath.Join(dir, "synth"+cluseq.ModelBundleExt), 7)
+
+	base, sig, done, _ := startDaemon(t, "-models", dir, "-pprof")
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ with -pprof = %d, want 200", resp.StatusCode)
+	}
+
+	// One request through the middleware so the per-route counters have a
+	// series to export (pprof paths bypass the request middleware).
+	if resp, err = http.Get(base + "/readyz"); err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/metrics?format=prom")
+	if err != nil {
+		t.Fatalf("GET /metrics?format=prom: %v", err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prom metrics = %d: %s", resp.StatusCode, body.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("prom Content-Type = %q", ct)
+	}
+	out := body.String()
+	for _, want := range []string{
+		"# TYPE cluseqd_requests_total counter",
+		"cluseq_registry_models 1",
+		"cluseqd_model_clusters{model=\"synth\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	sig <- os.Interrupt
+	if code := <-done; code != 0 {
+		t.Fatalf("daemon exit code %d", code)
+	}
+
+	// Without -pprof the profiling surface must not exist.
+	base, sig, done, _ = startDaemon(t, "-models", dir)
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("/debug/pprof/ reachable without -pprof")
+	}
+	sig <- os.Interrupt
+	if code := <-done; code != 0 {
+		t.Fatalf("daemon exit code %d", code)
+	}
+}
+
 func TestDaemonUsageErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if code := run(nil, &buf, nil, nil); code != 2 {

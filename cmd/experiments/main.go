@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-scale tiny|small|paper] [-seed N] [-run LIST] [-v]
-//	            [-cpuprofile FILE] [-memprofile FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-trace-out FILE]
 //
 // -run selects a comma-separated subset of: table2, table3, table4,
 // figure4, figure5, table5, table6, order, outliers, recluster,
@@ -21,6 +21,10 @@
 // -cpuprofile/-memprofile write standard pprof profiles covering the
 // selected runs; see EXPERIMENTS.md for the profiling workflow.
 //
+// -trace-out FILE records one JSONL span per clustering phase per
+// iteration across every selected run, plus a final metrics snapshot;
+// see EXPERIMENTS.md for how to read the file.
+//
 // The paper scale replays the exact workload sizes of the paper
 // (100,000 × 1000 synthetic, 8000 proteins) and can take hours; the
 // default small scale preserves every reported shape in minutes.
@@ -35,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"cluseq"
 	"cluseq/internal/experiments"
 	"cluseq/internal/prof"
 )
@@ -121,12 +126,37 @@ func run() int {
 	benchSimilarity := flag.String("bench-similarity", "", "run only the similarity scan benchmark and write it as JSON to this file (e.g. BENCH_similarity.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile covering the selected runs to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
+	traceOut := flag.String("trace-out", "", "write phase spans of every clustering run plus a final metrics snapshot as JSON Lines to this file")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	var (
+		obsReg *cluseq.Metrics
+		tracer *cluseq.Tracer
+	)
+	if *traceOut != "" {
+		traceFile, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		obsReg = cluseq.NewMetrics()
+		tracer = cluseq.NewTracer(traceFile)
+		experiments.Instrument(obsReg, tracer)
+		defer func() {
+			tracer.EmitMetrics(obsReg)
+			err := tracer.Err()
+			if cerr := traceFile.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "writing trace:", err)
+			}
+		}()
 	}
 	code := 0
 	defer func() {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"cluseq/internal/pst"
 	"cluseq/internal/seq"
@@ -62,7 +63,12 @@ func NewClassifier(db *seq.Database, res *Result, cfg Config) (*Classifier, erro
 		}
 		c.trees = append(c.trees, cl.Tree)
 	}
+	start := time.Now()
 	c.compileSnapshots()
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("cluseq_classifier_snapshot_compiles_total").Add(int64(len(c.trees)))
+		cfg.Obs.Histogram("cluseq_classifier_snapshot_compile_seconds", 0, 1, 200).ObserveSince(start)
+	}
 	return c, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"math/rand/v2"
 
 	"cluseq/internal/eval"
+	"cluseq/internal/obs"
 	"cluseq/internal/pst"
 	"cluseq/internal/seq"
 )
@@ -158,6 +159,16 @@ type Config struct {
 	KeepTrees bool
 	// Logf, when non-nil, receives one progress line per iteration.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives the run's metrics: per-phase timing
+	// histograms, cache hit/miss and snapshot-compile counters, PST
+	// size/prune gauges and counters, and worker-pool dispatch stats.
+	// See DESIGN.md §10 for the metric catalogue. Nil disables metrics
+	// at negligible residual cost (nil-handle no-ops).
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives one span per §4 phase per
+	// iteration (generate, score, apply, consolidate, threshold, and
+	// refine passes) as JSONL for offline analysis.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -273,6 +284,10 @@ type IterationTrace struct {
 	// sequences × clusters: empty sequences are skipped.
 	CacheHits   int
 	CacheMisses int
+	// SnapshotCompiles counts the pst.Snapshot compilations performed
+	// during the iteration — how often a cluster tree's mutation forced
+	// the engine to refresh its compiled scoring snapshot.
+	SnapshotCompiles int
 }
 
 // Result is the outcome of a clustering run.

@@ -144,6 +144,12 @@ func TestClusterSnapshotCorrectness(t *testing.T) {
 			if len(results[0].Clusters) == 0 {
 				t.Fatal("no clusters found; the snapshot check would be vacuous")
 			}
+			// SnapshotCompiles records how scoring was executed (zero when
+			// snapshots are off), not what it computed; exclude it like the
+			// cache counters in the cache test.
+			for _, r := range results {
+				stripSnapshotCounters(r)
+			}
 			for i, r := range results[1:] {
 				if !reflect.DeepEqual(results[0], r) {
 					t.Errorf("snapshot/worker variant %d disagrees with baseline:\nbase:    %+v\nvariant: %+v",
@@ -158,6 +164,12 @@ func stripCacheCounters(r *Result) {
 	for i := range r.Trace {
 		r.Trace[i].CacheHits = 0
 		r.Trace[i].CacheMisses = 0
+	}
+}
+
+func stripSnapshotCounters(r *Result) {
+	for i := range r.Trace {
+		r.Trace[i].SnapshotCompiles = 0
 	}
 }
 

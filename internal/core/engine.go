@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sort"
 	"sync/atomic"
+	"time"
 
+	"cluseq/internal/obs"
 	"cluseq/internal/pool"
 	"cluseq/internal/pst"
 	"cluseq/internal/seq"
@@ -30,6 +32,11 @@ type cluster struct {
 	// inside, so workers scan flat arrays with no locks. Nil when
 	// Config.SnapshotOff.
 	snap *pst.Snapshot
+	// obsPruned/obsPruneEvents are the portions of the tree's cumulative
+	// prune counters already folded into the run metrics (see
+	// engine.harvestTree). Reset when the tree is rebuilt.
+	obsPruned      int64
+	obsPruneEvents int64
 }
 
 // simCacheEntry is one slot of a cluster's similarity cache. The entry
@@ -69,6 +76,14 @@ type engine struct {
 	prevEliminated int
 
 	nextID int
+
+	// met holds the run's metric handles (zero value = all no-ops); iter
+	// is the current outer-loop iteration for span attribution;
+	// iterCompiles counts snapshot compilations within the current
+	// iteration for IterationTrace and the log line.
+	met          engineMetrics
+	iter         int
+	iterCompiles int
 }
 
 func (e *engine) logf(format string, args ...any) {
@@ -137,28 +152,41 @@ func (e *engine) unclusteredIndices() []int {
 
 // run executes the outer loop of Figure 2.
 func (e *engine) run() (*Result, error) {
+	e.met = newEngineMetrics(e.cfg.Obs, e.cfg.Prune)
 	if w := e.workers(); w > 1 {
 		e.pool = pool.New(w - 1)
+		e.pool.Instrument(e.cfg.Obs, "cluseq_pool")
 	}
 	res := &Result{n: e.db.Len()}
 	prevMembership := e.membershipOf()
 	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+		e.iter = iter
+		e.iterCompiles = 0
 		trace := IterationTrace{}
 
 		// 1. New cluster generation (§4.1).
+		start := time.Now()
+		sp := e.cfg.Tracer.Span("generate", obs.Int("iter", iter+1))
 		kn := e.newClusterBudget(iter)
 		created := e.generateClusters(kn)
+		sp.End(obs.Int("budget", kn), obs.Int("created", created))
+		e.met.observePhase(e.met.phaseGenerate, start)
 		trace.NewClusters = created
 		e.prevNew = created
 
 		// 2. Sequence reclustering (§4.2-4.4), collecting every
 		// sequence-cluster log-similarity for the §4.6 histogram.
+		// recluster emits its own score/apply spans.
 		logSims := e.recluster()
 		trace.CacheHits = int(e.cacheHits.Load())
 		trace.CacheMisses = int(e.cacheMisses.Load())
 
 		// 3. Cluster consolidation (§4.5).
+		start = time.Now()
+		sp = e.cfg.Tracer.Span("consolidate", obs.Int("iter", iter+1))
 		eliminated := e.consolidate()
+		sp.End(obs.Int("eliminated", eliminated))
+		e.met.observePhase(e.met.phaseConsolidate, start)
 		trace.Consolidated = eliminated
 		e.prevEliminated = eliminated
 
@@ -184,18 +212,28 @@ func (e *engine) run() (*Result, error) {
 		// above the reach of fresh seed clusters.
 		e.tMoved = false
 		if !e.cfg.FixedThreshold {
+			start = time.Now()
+			sp = e.cfg.Tracer.Span("threshold", obs.Int("iter", iter+1))
 			unclustered := len(e.unclusteredIndices())
 			starved := moves == 0 && unclustered > e.db.Len()/3
 			trace.ValleyEstimate = e.adjustThreshold(logSims, starved)
+			sp.End(obs.Float("t", math.Exp(e.logT)), obs.Bool("moved", e.tMoved))
+			e.met.observePhase(e.met.phaseThreshold, start)
 		}
 		trace.Clusters = len(e.clusters)
 		trace.Threshold = math.Exp(e.logT)
 		trace.Unclustered = len(e.unclusteredIndices())
+		trace.SnapshotCompiles = e.iterCompiles
+		e.observeIteration(&trace)
 		res.Trace = append(res.Trace, trace)
 		res.Iterations = iter + 1
-		e.logf("iter %d: +%d new, -%d consolidated, %d clusters, %d moves, t=%.4g, %d unclustered",
+		hitRate := 0.0
+		if tot := trace.CacheHits + trace.CacheMisses; tot > 0 {
+			hitRate = 100 * float64(trace.CacheHits) / float64(tot)
+		}
+		e.logf("iter %d: +%d new, -%d consolidated, %d clusters, %d moves, t=%.4g, %d unclustered, cache %.1f%% hit, %d snapshot compiles",
 			iter+1, trace.NewClusters, trace.Consolidated, trace.Clusters,
-			moves, trace.Threshold, trace.Unclustered)
+			moves, trace.Threshold, trace.Unclustered, hitRate, trace.SnapshotCompiles)
 
 		// Termination (§4): same number of clusters, no membership change,
 		// and the similarity threshold has settled (a still-descending t
@@ -206,7 +244,16 @@ func (e *engine) run() (*Result, error) {
 		prevMembership = membership
 	}
 
-	e.refine()
+	if e.cfg.RefinePasses > 0 {
+		start := time.Now()
+		sp := e.cfg.Tracer.Span("refine", obs.Int("passes", e.cfg.RefinePasses))
+		e.refine()
+		sp.End(obs.Int("clusters", len(e.clusters)))
+		e.met.observePhase(e.met.phaseRefine, start)
+		for _, c := range e.clusters {
+			e.harvestTree(c)
+		}
+	}
 
 	res.FinalThreshold = math.Exp(e.logT)
 	res.Unclustered = e.unclusteredIndices()
@@ -262,6 +309,10 @@ func (e *engine) refine() {
 			for i, m := range members {
 				tree.Insert(e.db.Sequences[m].Symbols[segs[i][0]:segs[i][1]])
 			}
+			// The rebuilt tree's prune counters restart from zero: bank
+			// the old tree's tallies, then reset the harvest watermarks.
+			e.harvestTree(c)
+			c.obsPruned, c.obsPruneEvents = 0, 0
 			c.tree = tree
 			// Version stamps identify states of one tree only; swapping
 			// in a rebuilt tree (whose counter restarts) could collide
@@ -455,7 +506,11 @@ func (e *engine) ensureSnapshot(c *cluster) {
 		return
 	}
 	if !c.snap.Valid(c.tree) {
+		start := time.Now()
 		c.snap = c.tree.CompileSnapshot(e.background)
+		e.iterCompiles++
+		e.met.snapCompiles.Inc()
+		e.met.snapCompileSeconds.ObserveSince(start)
 	}
 }
 
@@ -553,7 +608,14 @@ func (e *engine) cachedSim(c *cluster, si int, syms []seq.Symbol, countHit bool)
 func (e *engine) recluster() []float64 {
 	e.cacheHits.Store(0)
 	e.cacheMisses.Store(0)
+	start := time.Now()
+	sp := e.cfg.Tracer.Span("score", obs.Int("iter", e.iter+1), obs.Int("clusters", len(e.clusters)))
 	e.scoreClusters()
+	sp.End(obs.Int64("cache_hits", e.cacheHits.Load()), obs.Int64("cache_misses", e.cacheMisses.Load()))
+	e.met.observePhase(e.met.phaseScore, start)
+
+	start = time.Now()
+	sp = e.cfg.Tracer.Span("apply", obs.Int("iter", e.iter+1))
 	order := e.sequenceOrder()
 	logSims := make([]float64, 0, len(order)*max(len(e.clusters), 1))
 	for _, si := range order {
@@ -592,6 +654,8 @@ func (e *engine) recluster() []float64 {
 			}
 		}
 	}
+	sp.End(obs.Int("similarities", len(logSims)))
+	e.met.observePhase(e.met.phaseApply, start)
 	return logSims
 }
 
@@ -687,6 +751,10 @@ func (e *engine) consolidate() int {
 	for i, c := range e.clusters {
 		if !dismissed[i] {
 			kept = append(kept, c)
+		} else {
+			// The tree is about to be dropped; bank its prune counters
+			// before they become unreachable.
+			e.harvestTree(c)
 		}
 	}
 	e.clusters = kept

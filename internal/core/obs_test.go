@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cluseq/internal/obs"
+)
+
+// traceSpan is the subset of a tracer span record these tests decode.
+type traceSpan struct {
+	Type  string         `json:"type"`
+	Name  string         `json:"name"`
+	DurUS int64          `json:"dur_us"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+// TestClusterEmitsPhaseSpans runs a full clustering with a tracer
+// attached and checks the span taxonomy: one generate, score, apply,
+// consolidate, and threshold span per iteration (each tagged with its
+// 1-based iter attribute), plus exactly one refine span when refinement
+// is configured.
+func TestClusterEmitsPhaseSpans(t *testing.T) {
+	db := determinismDB(t, 11)
+	cfg := determinismConfigs()["refine+merge+random"]
+	var sb strings.Builder
+	cfg.Tracer = obs.NewTracer(&sb)
+	cfg.Obs = obs.NewRegistry()
+
+	res, err := Cluster(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	perIter := map[string]map[int]int{} // phase -> iter -> count
+	refines := 0
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		var sp traceSpan
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("trace line is not valid JSON: %v\n%s", err, line)
+		}
+		if sp.Type != "span" {
+			t.Fatalf("unexpected record type %q: %s", sp.Type, line)
+		}
+		if sp.DurUS < 0 {
+			t.Fatalf("negative span duration: %s", line)
+		}
+		switch sp.Name {
+		case "generate", "score", "apply", "consolidate", "threshold":
+			iter, ok := sp.Attrs["iter"].(float64)
+			if !ok || iter < 1 || int(iter) > res.Iterations {
+				t.Fatalf("%s span with bad iter attr: %s", sp.Name, line)
+			}
+			if perIter[sp.Name] == nil {
+				perIter[sp.Name] = map[int]int{}
+			}
+			perIter[sp.Name][int(iter)]++
+		case "refine":
+			refines++
+		default:
+			t.Fatalf("unknown span name %q: %s", sp.Name, line)
+		}
+	}
+	for _, phase := range []string{"generate", "score", "apply", "consolidate", "threshold"} {
+		for iter := 1; iter <= res.Iterations; iter++ {
+			if got := perIter[phase][iter]; got != 1 {
+				t.Errorf("phase %s iteration %d: %d spans, want 1", phase, iter, got)
+			}
+		}
+	}
+	if refines != 1 {
+		t.Errorf("refine spans = %d, want 1 (RefinePasses=%d)", refines, cfg.RefinePasses)
+	}
+
+	// The obs registry saw the same run: iteration counter matches, and
+	// snapshot-compile activity recorded in the trace is mirrored there.
+	if got := cfg.Obs.Counter("cluseq_engine_iterations_total").Value(); got != int64(res.Iterations) {
+		t.Errorf("iterations counter = %d, want %d", got, res.Iterations)
+	}
+	compiles := 0
+	for _, tr := range res.Trace {
+		compiles += tr.SnapshotCompiles
+	}
+	if compiles == 0 {
+		t.Error("no snapshot compiles recorded in the iteration trace")
+	}
+	if got := cfg.Obs.Counter("cluseq_engine_snapshot_compiles_total").Value(); got < int64(compiles) {
+		t.Errorf("snapshot compile counter = %d, want >= %d (trace total)", got, compiles)
+	}
+}
+
+// TestClusterObsMatchesResult pins the metrics-only path (no tracer):
+// gauges land on the final state and phase histograms fill for every
+// phase that ran.
+func TestClusterObsMatchesResult(t *testing.T) {
+	db := determinismDB(t, 29)
+	cfg := determinismConfigs()["base"]
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+
+	res, err := Cluster(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("cluseq_engine_clusters").Value(); got != float64(len(res.Clusters)) {
+		t.Errorf("clusters gauge = %v, want %d", got, len(res.Clusters))
+	}
+	if got := reg.Gauge("cluseq_engine_unclustered").Value(); got != float64(len(res.Unclustered)) {
+		t.Errorf("unclustered gauge = %v, want %d", got, len(res.Unclustered))
+	}
+	for _, phase := range []string{"generate", "score", "apply", "consolidate", "threshold"} {
+		h := reg.Histogram("cluseq_engine_phase_seconds", 0, 60, 600, "phase", phase)
+		if got := h.Count(); got != int64(res.Iterations) {
+			t.Errorf("phase %s histogram count = %d, want %d", phase, got, res.Iterations)
+		}
+	}
+	if got := reg.Gauge("cluseq_pst_nodes").Value(); got <= 0 {
+		t.Errorf("pst_nodes gauge = %v, want > 0", got)
+	}
+}

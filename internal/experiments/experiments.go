@@ -22,6 +22,7 @@ import (
 	"cluseq/internal/core"
 	"cluseq/internal/datagen"
 	"cluseq/internal/eval"
+	"cluseq/internal/obs"
 	"cluseq/internal/seq"
 )
 
@@ -190,9 +191,27 @@ func languageCluseqConfig(s Scale, seed uint64) core.Config {
 	return cfg
 }
 
+// obsRegistry and obsTracer, when set via Instrument, are attached to
+// every clustering run the experiments launch. Package-level because
+// the experiment runners build their core.Config internally; this is
+// the single choke point all of them pass through.
+var (
+	obsRegistry *obs.Registry
+	obsTracer   *obs.Tracer
+)
+
+// Instrument attaches a metrics registry and span tracer (either may be
+// nil) to every subsequent clustering run. Not safe to call while
+// experiments are running.
+func Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	obsRegistry, obsTracer = reg, tr
+}
+
 // runCLUSEQ executes the core algorithm and evaluates it against the
 // database's ground-truth labels.
 func runCLUSEQ(db *seq.Database, cfg core.Config) (*core.Result, eval.Report, time.Duration, error) {
+	cfg.Obs = obsRegistry
+	cfg.Tracer = obsTracer
 	start := time.Now()
 	res, err := core.Cluster(db, cfg)
 	elapsed := time.Since(start)

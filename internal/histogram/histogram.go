@@ -190,13 +190,23 @@ func (h *Histogram) OtsuThreshold() (float64, bool) {
 	return bestX, true
 }
 
-// Quantile returns the bucket center below which fraction q of the
-// recorded weight falls, interpolating linearly inside the boundary
-// bucket. q is clamped into [0, 1]. The boolean result is false when the
-// histogram holds no weight. The estimate's resolution is one bucket
-// width; the serving daemon uses it for latency percentiles.
+// Quantile returns the value below which fraction q of the recorded
+// weight falls, interpolating linearly inside the boundary bucket. q is
+// clamped into [0, 1] (NaN clamps to 0). The boolean result is false
+// when the histogram holds no weight. The estimate's resolution is one
+// bucket width; the serving daemon and the obs registry use it for
+// latency percentiles.
+//
+// Edge behavior, pinned by TestQuantileTable:
+//
+//   - q = 0 returns the left edge of the first non-empty bucket;
+//   - q = 1 returns the right edge of the last non-empty bucket (even
+//     when floating-point accumulation drift would otherwise overshoot
+//     past every bucket);
+//   - a single sample in bucket i interpolates across that bucket:
+//     Quantile(q) = left edge + q·width.
 func (h *Histogram) Quantile(q float64) (float64, bool) {
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {
@@ -220,7 +230,16 @@ func (h *Histogram) Quantile(q float64) (float64, bool) {
 		}
 		cum += w
 	}
-	return h.Center(len(h.buckets) - 1), true
+	// Floating-point drift: Σw recomputed incrementally fell short of
+	// target (q ≈ 1 with many buckets). Report the exact upper edge of
+	// the recorded distribution — the right edge of the last non-empty
+	// bucket — rather than a bucket center.
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		if h.buckets[i] > 0 {
+			return h.lo + float64(i+1)*width, true
+		}
+	}
+	return 0, false
 }
 
 // String renders a compact textual sketch of the histogram, useful in logs.

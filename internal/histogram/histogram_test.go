@@ -108,6 +108,79 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileTable pins the edge-case contract of Quantile: empty
+// histogram, single sample, q=0/q=1 clamping (including NaN and
+// out-of-range q), multi-bucket interpolation, and the fallthrough when
+// trailing buckets are empty.
+func TestQuantileTable(t *testing.T) {
+	type obs struct{ v, w float64 }
+	cases := []struct {
+		name    string
+		lo, hi  float64
+		buckets int
+		add     []obs
+		q       float64
+		want    float64
+		ok      bool
+	}{
+		{"empty q=0.5", 0, 10, 10, nil, 0.5, 0, false},
+		{"empty q=0", 0, 10, 10, nil, 0, 0, false},
+		{"empty q=1", 0, 10, 10, nil, 1, 0, false},
+
+		// A single sample lands in bucket [3,4): q interpolates across
+		// that bucket, so q=0 pins the left edge, q=1 the right edge.
+		{"single q=0", 0, 10, 10, []obs{{3.5, 1}}, 0, 3, true},
+		{"single q=0.5", 0, 10, 10, []obs{{3.5, 1}}, 0.5, 3.5, true},
+		{"single q=1", 0, 10, 10, []obs{{3.5, 1}}, 1, 4, true},
+
+		// Clamping: out-of-range and NaN q behave as the nearer bound.
+		{"clamp q<0", 0, 10, 10, []obs{{3.5, 1}}, -7, 3, true},
+		{"clamp q>1", 0, 10, 10, []obs{{3.5, 1}}, 42, 4, true},
+		{"clamp q=NaN", 0, 10, 10, []obs{{3.5, 1}}, math.NaN(), 3, true},
+
+		// Two equal-weight buckets: the median sits at the boundary.
+		{"two buckets q=0.5", 0, 10, 10, []obs{{1.5, 1}, {6.5, 1}}, 0.5, 2, true},
+		{"two buckets q=0.75", 0, 10, 10, []obs{{1.5, 1}, {6.5, 1}}, 0.75, 6.5, true},
+		{"two buckets q=1", 0, 10, 10, []obs{{1.5, 1}, {6.5, 1}}, 1, 7, true},
+
+		// q=0 skips leading empty buckets to the first occupied one.
+		{"leading empties q=0", 0, 10, 10, []obs{{8.5, 2}}, 0, 8, true},
+		// q=1 never lands past the last occupied bucket, even with
+		// trailing empties.
+		{"trailing empties q=1", 0, 10, 10, []obs{{0.5, 3}}, 1, 1, true},
+
+		// Out-of-domain samples clamp into the edge buckets and stay
+		// countable.
+		{"clamped sample q=1", 0, 10, 10, []obs{{99, 1}}, 1, 10, true},
+		{"clamped sample q=0", 0, 10, 10, []obs{{-5, 1}}, 0, 0, true},
+
+		// Weighted observations shift mass, not counts: half of the
+		// total weight 10 falls 4/9 of the way into bucket [5,6).
+		{"weighted q=0.5", 0, 10, 10, []obs{{0.5, 1}, {5.5, 9}}, 0.5, 5 + 4.0/9, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := New(tc.lo, tc.hi, tc.buckets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range tc.add {
+				h.AddWeighted(o.v, o.w)
+			}
+			got, ok := h.Quantile(tc.q)
+			if ok != tc.ok {
+				t.Fatalf("Quantile(%v) ok = %v, want %v", tc.q, ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestValleyVShape(t *testing.T) {
 	h, _ := New(0, 30, 30)
 	// Steep decline over buckets 0..9, flat low region 10..19, gentle rise

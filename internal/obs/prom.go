@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): one "# TYPE" comment per metric family, then
+// one sample line per series. Counters and gauges export their value
+// directly; histograms export as summaries — pre-computed quantiles
+// plus <name>_sum and <name>_count — because the underlying linear
+// bucket layout (hundreds of buckets) would be wasteful as cumulative
+// _bucket series.
+//
+// It is safe to call concurrently with metric updates. A nil *Registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, m := range r.Snapshot() {
+		if m.Name != lastFamily {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(m.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(m.Kind.String())
+			bw.WriteByte('\n')
+			lastFamily = m.Name
+		}
+		switch m.Kind {
+		case KindCounter:
+			writeSample(bw, m.Name, m.Labels, "", strconv.FormatInt(int64(m.Value), 10))
+		case KindGauge:
+			writeSample(bw, m.Name, m.Labels, "", formatFloat(m.Value))
+		case KindHistogram:
+			for _, qv := range m.Quantiles {
+				writeSample(bw, m.Name, m.Labels, formatFloat(qv.Q), formatFloat(qv.Value))
+			}
+			writeSample(bw, m.Name+"_sum", m.Labels, "", formatFloat(m.Sum))
+			writeSample(bw, m.Name+"_count", m.Labels, "", strconv.FormatInt(m.Count, 10))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one exposition line: name{labels[,quantile="q"]} value.
+func writeSample(bw *bufio.Writer, name string, labels []Label, quantile, value string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || quantile != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if quantile != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`quantile="`)
+			bw.WriteString(quantile)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip decimal, with the special values spelled +Inf/-Inf/NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

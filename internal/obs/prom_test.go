@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promLine matches one valid exposition sample line:
+// name{label="value",...} value
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$`)
+
+var promType = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$`)
+
+func TestWritePrometheusWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "route", "classify").Add(3)
+	r.Counter("requests_total", "route", "models").Add(1)
+	r.Gauge("uptime_seconds").Set(12.5)
+	r.Gauge("weird_gauge").Set(1e21) // exercises exponent formatting
+	h := r.Histogram("latency_ms", 0, 100, 100, "route", "classify")
+	for i := 0; i < 50; i++ {
+		h.Observe(float64(i))
+	}
+	r.Counter("escaped_total", "path", "a\\b\"c\nd").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	types := map[string]bool{}
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			if !promType.MatchString(line) {
+				t.Errorf("malformed TYPE line: %q", line)
+			}
+			fam := strings.Fields(line)[2]
+			if types[fam] {
+				t.Errorf("duplicate TYPE line for family %s", fam)
+			}
+			types[fam] = true
+		default:
+			if !promLine.MatchString(line) {
+				t.Errorf("malformed sample line: %q", line)
+			}
+			samples++
+		}
+	}
+	for _, fam := range []string{"requests_total", "uptime_seconds", "latency_ms", "escaped_total"} {
+		if !types[fam] {
+			t.Errorf("missing TYPE line for %s", fam)
+		}
+	}
+	// Histograms export as summaries: 3 quantiles + _sum + _count.
+	for _, want := range []string{
+		`requests_total{route="classify"} 3`,
+		`requests_total{route="models"} 1`,
+		"uptime_seconds 12.5",
+		`latency_ms{route="classify",quantile="0.5"} `,
+		"latency_ms_sum{route=\"classify\"} ",
+		"latency_ms_count{route=\"classify\"} 50",
+		`escaped_total{path="a\\b\"c\nd"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no sample lines rendered")
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	cases := map[float64]string{
+		0.5: "0.5",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(1.0 / zero()); got != "+Inf" {
+		t.Errorf("+Inf renders as %q", got)
+	}
+	if got := formatFloat(-1.0 / zero()); got != "-Inf" {
+		t.Errorf("-Inf renders as %q", got)
+	}
+	if got := formatFloat(zero() / zero()); got != "NaN" {
+		t.Errorf("NaN renders as %q", got)
+	}
+}
+
+// zero defeats constant folding (1.0/0.0 is a compile error in Go).
+func zero() float64 { return 0 }

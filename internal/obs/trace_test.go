@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeJSONL parses every line of a trace buffer, failing the test on
+// any malformed record.
+func decodeJSONL(t *testing.T, out string) []map[string]any {
+	t.Helper()
+	var recs []map[string]any
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func TestTracerSpansEventsMetrics(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb)
+
+	sp := tr.Span("score", Int("iter", 1), Str("mode", "snapshot"))
+	time.Sleep(time.Millisecond)
+	sp.End(Int("pairs", 42), Str("mode", "override"))
+	tr.Event("reload", Bool("ok", true))
+
+	reg := NewRegistry()
+	reg.Counter("c_total").Add(7)
+	reg.Gauge("g").Set(1.5)
+	h := reg.Histogram("h_seconds", 0, 1, 10)
+	h.Observe(0.3)
+	tr.EmitMetrics(reg)
+
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeJSONL(t, sb.String())
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+
+	span := recs[0]
+	if span["type"] != "span" || span["name"] != "score" {
+		t.Fatalf("span record = %v", span)
+	}
+	if span["start_us"].(float64) <= 0 {
+		t.Fatal("span missing start_us")
+	}
+	if span["dur_us"].(float64) < 1000 {
+		t.Fatalf("dur_us = %v, want >= 1000 (slept 1ms)", span["dur_us"])
+	}
+	attrs := span["attrs"].(map[string]any)
+	if attrs["iter"] != 1.0 || attrs["pairs"] != 42.0 {
+		t.Fatalf("span attrs = %v", attrs)
+	}
+	if attrs["mode"] != "override" {
+		t.Fatalf("End attrs must win on collision, got %v", attrs["mode"])
+	}
+
+	event := recs[1]
+	if event["type"] != "event" || event["name"] != "reload" {
+		t.Fatalf("event record = %v", event)
+	}
+	if event["attrs"].(map[string]any)["ok"] != true {
+		t.Fatalf("event attrs = %v", event["attrs"])
+	}
+
+	met := recs[2]
+	if met["type"] != "metrics" {
+		t.Fatalf("metrics record = %v", met)
+	}
+	series := met["metrics"].(map[string]any)
+	if series["c_total"] != 7.0 || series["g"] != 1.5 {
+		t.Fatalf("metrics payload = %v", series)
+	}
+	hist := series["h_seconds"].(map[string]any)
+	if hist["count"] != 1.0 || hist["sum"] != 0.3 {
+		t.Fatalf("histogram payload = %v", hist)
+	}
+	for _, q := range []string{"p50", "p95", "p99"} {
+		if _, ok := hist[q]; !ok {
+			t.Fatalf("histogram payload missing %s: %v", q, hist)
+		}
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("sink broken")
+}
+
+func TestTracerErrLatches(t *testing.T) {
+	w := &failWriter{}
+	tr := NewTracer(w)
+	tr.Event("a")
+	if tr.Err() == nil {
+		t.Fatal("write failure must surface via Err")
+	}
+	tr.Event("b")
+	tr.Span("s").End()
+	if w.n != 1 {
+		t.Fatalf("records after a failed write must be dropped, wrote %d times", w.n)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var sb safeBuilder
+	tr := NewTracer(&sb)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				tr.Span("phase", Int("g", g), Int("i", i)).End()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeJSONL(t, sb.String())
+	if len(recs) != 800 {
+		t.Fatalf("got %d records, want 800", len(recs))
+	}
+}
+
+// safeBuilder is a mutex-guarded strings.Builder; the tracer serializes
+// its own writes, but the test reads the buffer afterwards and the race
+// detector wants the happens-before edge explicit.
+type safeBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *safeBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *safeBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -23,6 +23,9 @@ package pool
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"cluseq/internal/obs"
 )
 
 // Pool bounds the number of helper goroutines available to Run calls.
@@ -30,6 +33,12 @@ import (
 type Pool struct {
 	extra int
 	slots chan struct{}
+
+	// Observability handles (see Instrument). Nil handles are no-ops,
+	// so the fan-out path never branches on "is obs enabled".
+	tasks *obs.Counter   // indices dispatched across all Run calls
+	runs  *obs.Counter   // Run/RunGrain invocations
+	wall  *obs.Histogram // per-Run wall time, seconds
 }
 
 // New returns a pool with the given number of helper goroutine slots.
@@ -44,6 +53,22 @@ func New(extra int) *Pool {
 // Size returns the number of helper slots (parallelism is Size()+1 per
 // concurrent caller, bounded overall by Size() + number of callers).
 func (p *Pool) Size() int { return p.extra }
+
+// Instrument registers the pool's metrics — <prefix>_tasks_total,
+// <prefix>_runs_total, and the <prefix>_run_seconds wall-time
+// histogram — on the registry and starts recording into them. A nil
+// registry leaves the pool uninstrumented (the default). Call before
+// the pool is shared across goroutines; the handles are plain fields.
+func (p *Pool) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	p.tasks = reg.Counter(prefix + "_tasks_total")
+	p.runs = reg.Counter(prefix + "_runs_total")
+	// [0, 5s) at 10ms resolution: a Run is one batch fan-out, far
+	// shorter than a whole phase.
+	p.wall = reg.Histogram(prefix+"_run_seconds", 0, 5, 500)
+}
 
 // Run executes fn(0) … fn(n−1) and returns when every index is done.
 // Indices are handed out dynamically; fn must be safe for concurrent
@@ -71,6 +96,14 @@ func (p *Pool) Run(n int, fn func(i int)) {
 func (p *Pool) RunGrain(n, grain int, fn func(i int)) {
 	if n <= 0 {
 		return
+	}
+	if p.runs != nil {
+		start := time.Now()
+		defer func() {
+			p.runs.Inc()
+			p.tasks.Add(int64(n))
+			p.wall.ObserveSince(start)
+		}()
 	}
 	workers := p.extra + 1
 	if grain <= 0 {

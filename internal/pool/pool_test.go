@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"cluseq/internal/obs"
 )
 
 func TestRunCoversEveryIndexOnce(t *testing.T) {
@@ -91,6 +93,36 @@ func TestConcurrentRunCalls(t *testing.T) {
 	wg.Wait()
 	if got := total.Load(); got != callers*n {
 		t.Fatalf("concurrent runs executed %d calls, want %d", got, callers*n)
+	}
+}
+
+func TestInstrumentCountsRuns(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(2)
+	p.Instrument(reg, "pool")
+
+	p.Run(100, func(int) {})
+	p.RunGrain(50, 7, func(int) {})
+	p.Run(0, func(int) {}) // empty runs are not dispatched or counted
+
+	if got := reg.Counter("pool_runs_total").Value(); got != 2 {
+		t.Fatalf("runs_total = %d, want 2", got)
+	}
+	if got := reg.Counter("pool_tasks_total").Value(); got != 150 {
+		t.Fatalf("tasks_total = %d, want 150", got)
+	}
+	if got := reg.Histogram("pool_run_seconds", 0, 5, 500).Count(); got != 2 {
+		t.Fatalf("run_seconds count = %d, want 2", got)
+	}
+}
+
+func TestUninstrumentedPoolStillRuns(t *testing.T) {
+	p := New(1)
+	p.Instrument(nil, "pool") // nil registry: stays uninstrumented
+	var total atomic.Int64
+	p.Run(10, func(int) { total.Add(1) })
+	if total.Load() != 10 {
+		t.Fatalf("executed %d calls, want 10", total.Load())
 	}
 }
 

@@ -82,6 +82,7 @@ func (t *Tree) pruneTo(target int) {
 		target = 1
 	}
 	t.version++
+	t.pruneEvents++
 	h := &pruneHeap{}
 	t.Walk(func(n *Node) bool {
 		if n != t.root && len(n.children) == 0 {

@@ -57,6 +57,21 @@ const (
 	PruneExpectedVector
 )
 
+// String names the strategy the way the observability layer labels
+// prune metrics (DESIGN.md §10).
+func (p PruneStrategy) String() string {
+	switch p {
+	case PruneMinCount:
+		return "min_count"
+	case PruneLongestLabel:
+		return "longest_label"
+	case PruneExpectedVector:
+		return "expected_vector"
+	default:
+		return "auto"
+	}
+}
+
 // Config parameterizes a Tree.
 type Config struct {
 	// AlphabetSize is the number of distinct symbols n. Required.
@@ -187,8 +202,9 @@ type Tree struct {
 	nodeBytes int // estimated bytes per node, for the memory budget
 	maxNodes  int // 0 = unlimited
 
-	insertions int64 // total symbols inserted, for diagnostics
-	pruned     int64 // nodes evicted so far
+	insertions  int64 // total symbols inserted, for diagnostics
+	pruned      int64 // nodes evicted so far
+	pruneEvents int64 // pruneTo passes run so far (§5.1 cap firings)
 
 	// linksValid reports whether the auxiliary links of fastscan.go are
 	// complete; pruning and out-of-order construction clear it.
@@ -249,6 +265,12 @@ func (t *Tree) EstimatedBytes() int { return t.numNodes * t.nodeBytes }
 
 // PrunedNodes returns how many nodes have been evicted by the memory cap.
 func (t *Tree) PrunedNodes() int64 { return t.pruned }
+
+// PruneEvents returns how many pruning passes have run — each event is
+// one §5.1 memory-cap firing (or explicit Prune call) that evicted
+// nodes under the configured strategy. The observability layer reports
+// it per strategy (DESIGN.md §10).
+func (t *Tree) PruneEvents() int64 { return t.pruneEvents }
 
 // Version returns the tree's mutation counter. It starts at 1 for a
 // fresh tree and strictly increases on every mutating operation

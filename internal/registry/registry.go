@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"cluseq/internal/core"
+	"cluseq/internal/obs"
 )
 
 // Ext is the filename extension a bundle must carry to be picked up.
@@ -63,6 +64,34 @@ type Registry struct {
 	// generation counts completed reloads (including the initial load),
 	// for diagnostics and tests.
 	generation atomic.Uint64
+
+	// Observability handles (see Instrument); nil handles are no-ops.
+	reloads      *obs.Counter // completed Reload passes
+	reloadErrors *obs.Counter // Reload passes that failed outright
+	loaded       *obs.Counter // bundles (re)loaded: new files or fingerprint mismatches
+	kept         *obs.Counter // bundles carried over unchanged
+	removed      *obs.Counter // bundles dropped because their file vanished
+	loadFailures *obs.Counter // individual bundles that failed to load
+	models       *obs.Gauge   // models in the current snapshot
+}
+
+// Instrument registers the registry's metrics — reload pass and outcome
+// counters plus a live-model gauge, all under the cluseq_registry_
+// prefix — and starts recording into them. A nil registry of metrics
+// leaves it uninstrumented (the default). Call before the Registry is
+// shared; the handles are plain fields.
+func (r *Registry) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.reloads = reg.Counter("cluseq_registry_reloads_total")
+	r.reloadErrors = reg.Counter("cluseq_registry_reload_errors_total")
+	r.loaded = reg.Counter("cluseq_registry_models_loaded_total")
+	r.kept = reg.Counter("cluseq_registry_models_kept_total")
+	r.removed = reg.Counter("cluseq_registry_models_removed_total")
+	r.loadFailures = reg.Counter("cluseq_registry_load_failures_total")
+	r.models = reg.Gauge("cluseq_registry_models")
+	r.models.Set(float64(r.Len()))
 }
 
 // Report describes the outcome of one Reload pass. Name lists are
@@ -137,6 +166,7 @@ func (r *Registry) Reload() (Report, error) {
 	rep := Report{}
 	entries, err := os.ReadDir(r.dir)
 	if err != nil {
+		r.reloadErrors.Inc()
 		return rep, fmt.Errorf("registry: scanning %s: %w", r.dir, err)
 	}
 	old := *r.snap.Load()
@@ -188,6 +218,12 @@ func (r *Registry) Reload() (Report, error) {
 	sort.Strings(rep.Removed)
 	r.snap.Store(&next)
 	r.generation.Add(1)
+	r.reloads.Inc()
+	r.loaded.Add(int64(len(rep.Loaded)))
+	r.kept.Add(int64(len(rep.Kept)))
+	r.removed.Add(int64(len(rep.Removed)))
+	r.loadFailures.Add(int64(len(rep.Failed)))
+	r.models.Set(float64(len(next)))
 	return rep, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cluseq/internal/core"
+	"cluseq/internal/obs"
 	"cluseq/internal/pst"
 	"cluseq/internal/seq"
 )
@@ -196,6 +197,72 @@ func TestReloadKeepsPreviousOnCorruptRewrite(t *testing.T) {
 	after, ok := r.Get("m")
 	if !ok || after != before {
 		t.Fatal("corrupt rewrite must keep the previous good version in service")
+	}
+}
+
+func TestInstrumentCountsReloads(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "stable", makeClassifier(t, "abab"))
+	writeBundle(t, dir, "hot", makeClassifier(t, "cdcd"))
+	r, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+	if got := reg.Gauge("cluseq_registry_models").Value(); got != 2 {
+		t.Fatalf("models gauge at Instrument = %v, want 2", got)
+	}
+
+	// One pass covering every outcome: hot rewritten (loaded), stable
+	// unchanged (kept), a corrupt newcomer (load failure), and then a
+	// second pass after deleting hot (removed).
+	writeBundle(t, dir, "hot", makeClassifier(t, "aabb"))
+	bump(t, dir, "hot", 2*time.Second)
+	os.WriteFile(filepath.Join(dir, "bad"+Ext), []byte("garbage"), 0o644)
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, "hot"+Ext))
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]int64{
+		"cluseq_registry_reloads_total":        2,
+		"cluseq_registry_reload_errors_total":  0,
+		"cluseq_registry_models_loaded_total":  1, // hot, pass 1
+		"cluseq_registry_models_kept_total":    2, // stable, once per pass
+		"cluseq_registry_load_failures_total":  2, // bad fails both passes
+		"cluseq_registry_models_removed_total": 1, // hot, pass 2
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("cluseq_registry_models").Value(); got != 1 {
+		t.Fatalf("models gauge after removal = %v, want 1 (stable)", got)
+	}
+}
+
+func TestInstrumentCountsScanError(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "m", makeClassifier(t, "abab"))
+	r, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+	os.RemoveAll(dir)
+	if _, err := r.Reload(); err == nil {
+		t.Fatal("Reload over a vanished directory should fail")
+	}
+	if got := reg.Counter("cluseq_registry_reload_errors_total").Value(); got != 1 {
+		t.Fatalf("reload_errors_total = %d, want 1", got)
+	}
+	if got := reg.Counter("cluseq_registry_reloads_total").Value(); got != 0 {
+		t.Fatalf("reloads_total = %d, want 0 (the pass failed)", got)
 	}
 }
 

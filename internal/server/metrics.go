@@ -1,84 +1,95 @@
 package server
 
 import (
-	"expvar"
-	"sync"
 	"time"
 
-	"cluseq/internal/histogram"
+	"cluseq/internal/obs"
 )
 
-// metrics holds the daemon's counters. Counters are expvar types —
-// lock-free atomic increments on the request path — but deliberately
-// not published to the global expvar namespace, so multiple servers
-// (and tests) can coexist in one process; /metrics renders them from a
-// snapshot instead of expvar.Handler.
+// metrics is the daemon's view into its obs registry. All counters live
+// in the registry itself (shared with the engine/pool/registry metrics
+// when the caller supplies one, see Config.Obs); this struct only holds
+// the start time and pre-registered handles for the request path, so
+// handlers never look a series up by name per request.
 type metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	requests  expvar.Map // per endpoint: classify, models, reload, …
-	errors    expvar.Map // per class: bad_request, not_found, too_large, unavailable, internal
-	sequences expvar.Int // sequences classified
-	outliers  expvar.Int // of which below every threshold
-	perModel  expvar.Map // classifications per model name
-
-	// latency collects per-request classify latency in milliseconds.
-	// internal/histogram is not concurrency-safe, so observations take
-	// this mutex — one short critical section per request, after the
-	// response is computed.
-	latencyMu sync.Mutex
-	latency   *histogram.Histogram
+	sequences *obs.Counter   // sequences classified
+	outliers  *obs.Counter   // of which below every threshold
+	uptime    *obs.Gauge     // refreshed at each Prometheus scrape
+	latency   *obs.Histogram // classify latency, milliseconds (legacy JSON shape)
 }
 
 // latencyDomainMs bounds the latency histogram; slower requests clamp
 // into the last bucket, so tail quantiles saturate at the domain edge.
 const latencyDomainMs = 2000
 
-func newMetrics() *metrics {
-	m := &metrics{start: time.Now()}
-	m.requests.Init()
-	m.errors.Init()
-	m.perModel.Init()
-	// 400 buckets of 5 ms over [0, 2s).
-	m.latency = mustHistogram(0, latencyDomainMs, 400)
-	return m
-}
-
-func mustHistogram(lo, hi float64, buckets int) *histogram.Histogram {
-	h, err := histogram.New(lo, hi, buckets)
-	if err != nil {
-		panic(err)
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
-	return h
+	return &metrics{
+		start:     time.Now(),
+		reg:       reg,
+		sequences: reg.Counter("cluseqd_sequences_total"),
+		outliers:  reg.Counter("cluseqd_outliers_total"),
+		uptime:    reg.Gauge("cluseqd_uptime_seconds"),
+		// 400 buckets of 5 ms over [0, 2s).
+		latency: reg.Histogram("cluseqd_classify_latency_ms", 0, latencyDomainMs, 400),
+	}
 }
 
 func (m *metrics) observeLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.latencyMu.Lock()
-	m.latency.Add(ms)
-	m.latencyMu.Unlock()
+	m.latency.Observe(float64(d) / float64(time.Millisecond))
 }
 
-// expvarMapToJSON flattens an expvar.Map of expvar.Int values.
-func expvarMapToJSON(m *expvar.Map) map[string]int64 {
-	out := map[string]int64{}
-	m.Do(func(kv expvar.KeyValue) {
-		if v, ok := kv.Value.(*expvar.Int); ok {
-			out[kv.Key] = v.Value()
-		}
-	})
-	return out
+// observeRoute records one finished request: a per-route count, a
+// per-route/status count, and a per-route latency observation. Called
+// from the outermost middleware, so it sees every endpoint including
+// health and metrics probes. The registry lookup here is a read-locked
+// map hit — registration happened on the first request per series.
+func (m *metrics) observeRoute(route, status string, d time.Duration) {
+	m.reg.Counter("cluseqd_requests_total", "route", route).Inc()
+	m.reg.Counter("cluseqd_responses_total", "route", route, "status", status).Inc()
+	m.reg.Histogram("cluseqd_request_seconds", 0, 5, 500, "route", route).Observe(d.Seconds())
 }
 
-// snapshot renders every counter into a JSON-encodable tree for the
-// /metrics endpoint.
+func (m *metrics) countError(class string) {
+	m.reg.Counter("cluseqd_errors_total", "class", class).Inc()
+}
+
+func (m *metrics) countClassifications(model string, n int64) {
+	m.reg.Counter("cluseqd_classifications_total", "model", model).Add(n)
+}
+
+// snapshot renders the registry into the daemon's legacy JSON metrics
+// shape (the GET /metrics default). The keys and nesting predate the
+// obs registry and are kept stable for existing scrapers; the maps are
+// now projections of the labeled obs series.
 func (m *metrics) snapshot() map[string]any {
-	m.latencyMu.Lock()
-	count := m.latency.Count()
+	requests := map[string]int64{}
+	errors := map[string]int64{}
+	perModel := map[string]int64{}
+	for _, mt := range m.reg.Snapshot() {
+		switch mt.Name {
+		case "cluseqd_requests_total":
+			if r := mt.Label("route"); r != "" {
+				requests[r] = int64(mt.Value)
+			}
+		case "cluseqd_errors_total":
+			if c := mt.Label("class"); c != "" {
+				errors[c] = int64(mt.Value)
+			}
+		case "cluseqd_classifications_total":
+			if name := mt.Label("model"); name != "" {
+				perModel[name] = int64(mt.Value)
+			}
+		}
+	}
 	p50, _ := m.latency.Quantile(0.50)
 	p95, _ := m.latency.Quantile(0.95)
 	p99, _ := m.latency.Quantile(0.99)
-	m.latencyMu.Unlock()
 
 	seqs := m.sequences.Value()
 	outliers := m.outliers.Value()
@@ -88,14 +99,14 @@ func (m *metrics) snapshot() map[string]any {
 	}
 	return map[string]any{
 		"uptime_seconds":  time.Since(m.start).Seconds(),
-		"requests":        expvarMapToJSON(&m.requests),
-		"errors":          expvarMapToJSON(&m.errors),
+		"requests":        requests,
+		"errors":          errors,
 		"sequences_total": seqs,
-		"classifications": expvarMapToJSON(&m.perModel),
+		"classifications": perModel,
 		"outliers_total":  outliers,
 		"outlier_rate":    rate,
 		"latency_ms": map[string]any{
-			"count": count,
+			"count": m.latency.Count(),
 			"p50":   p50,
 			"p95":   p95,
 			"p99":   p99,

@@ -10,7 +10,13 @@
 //	GET  /healthz           liveness (always 200 while the process serves)
 //	GET  /readyz            readiness (200 once ≥ 1 model is loaded, else 503)
 //	GET  /metrics           JSON counters: requests, errors, per-model
-//	                        classifications, outlier rate, latency quantiles
+//	                        classifications, outlier rate, latency quantiles;
+//	                        ?format=prom yields the same registry as
+//	                        Prometheus text exposition (format 0.0.4)
+//
+// Every response carries an X-Request-ID header (echoing the caller's,
+// or generated), the same ID appears in the access log and in JSON
+// error bodies, and one access-log line is emitted per request.
 //
 // Batch classification fans the request's sequences across a bounded
 // worker pool shared by all in-flight requests; the request's own
@@ -27,6 +33,7 @@ import (
 	"runtime"
 	"time"
 
+	"cluseq/internal/obs"
 	"cluseq/internal/pool"
 	"cluseq/internal/registry"
 )
@@ -49,9 +56,14 @@ type Config struct {
 	// (503 with a JSON error on expiry). Health and metrics endpoints
 	// are exempt.
 	Timeout time.Duration
-	// Logf, when non-nil, receives one line per reload and per refused
-	// request.
+	// Logf, when non-nil, receives one access-log line per request plus
+	// one line per reload and per refused request.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, is the metrics registry the server records into
+	// and exposes at GET /metrics — share one registry across server,
+	// model registry, and pool to get a single exposition. Nil creates a
+	// private registry, so metrics always work.
+	Obs *obs.Registry
 }
 
 // Server routes the API. Construct with New; safe for concurrent use.
@@ -90,15 +102,35 @@ func New(cfg Config) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		reg:          cfg.Registry,
 		maxBatch:     cfg.MaxBatch,
 		maxBodyBytes: cfg.MaxBodyBytes,
 		timeout:      cfg.Timeout,
 		pool:         pool.New(cfg.Workers - 1),
-		metrics:      newMetrics(),
+		metrics:      newMetrics(cfg.Obs),
 		logf:         logf,
-	}, nil
+	}
+	s.pool.Instrument(s.metrics.reg, "cluseqd_pool")
+	s.reg.Instrument(s.metrics.reg)
+	s.updateModelGauges()
+	return s, nil
+}
+
+// updateModelGauges refreshes the per-model size gauges from each
+// loaded classifier. Called at construction and after every successful
+// reload — Info walks every tree, far too costly per request. A model
+// that is removed keeps its last gauge values (obs series are never
+// unregistered); the cluseq_registry_models gauge is authoritative for
+// what is live.
+func (s *Server) updateModelGauges() {
+	for _, m := range s.reg.Models() {
+		info := m.Classifier.Info()
+		reg := s.metrics.reg
+		reg.Gauge("cluseqd_model_clusters", "model", m.Name).Set(float64(info.Clusters))
+		reg.Gauge("cluseqd_model_pst_nodes", "model", m.Name).Set(float64(info.TotalNodes))
+		reg.Gauge("cluseqd_model_threshold", "model", m.Name).Set(info.Threshold)
+	}
 }
 
 // Handler returns the daemon's root handler.
@@ -119,24 +151,33 @@ func (s *Server) Handler() http.Handler {
 	root.HandleFunc("GET /healthz", s.handleHealthz)
 	root.HandleFunc("GET /readyz", s.handleReadyz)
 	root.HandleFunc("GET /metrics", s.handleMetrics)
-	return root
+	return s.withRequestID(root)
 }
+
+// Obs returns the metrics registry the server records into (the one
+// from Config.Obs, or the private one created in its absence).
+func (s *Server) Obs() *obs.Registry { return s.metrics.reg }
 
 // Registry returns the server's model registry.
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
 type errorBody struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's correlation ID so a client log line
+	// can be matched to the daemon's without comparing timestamps.
+	RequestID string `json:"request_id,omitempty"`
 }
 
-// fail writes a JSON error and bumps the error counter for its class.
-func (s *Server) fail(w http.ResponseWriter, code int, class, format string, args ...any) {
+// fail writes a JSON error (carrying the request's correlation ID) and
+// bumps the error counter for its class.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, class, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
-	s.metrics.errors.Add(class, 1)
-	s.logf("server: %d %s: %s", code, class, msg)
+	s.metrics.countError(class)
+	id := RequestID(r.Context())
+	s.logf("server: %d %s: %s id=%s", code, class, msg, id)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorBody{Error: msg})
+	json.NewEncoder(w).Encode(errorBody{Error: msg, RequestID: id})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -188,7 +229,6 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if s.classifyHook != nil {
 		s.classifyHook()
 	}
-	s.metrics.requests.Add("classify", 1)
 	start := time.Now()
 
 	var req ClassifyRequest
@@ -196,19 +236,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.fail(w, http.StatusRequestEntityTooLarge, "too_large", "request body exceeds %d bytes", s.maxBodyBytes)
+			s.fail(w, r, http.StatusRequestEntityTooLarge, "too_large", "request body exceeds %d bytes", s.maxBodyBytes)
 			return
 		}
-		s.fail(w, http.StatusBadRequest, "bad_request", "malformed JSON: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "bad_request", "malformed JSON: %v", err)
 		return
 	}
 	if req.Model == "" {
-		s.fail(w, http.StatusBadRequest, "bad_request", `missing "model"`)
+		s.fail(w, r, http.StatusBadRequest, "bad_request", `missing "model"`)
 		return
 	}
 	single := req.Sequence != ""
 	if single && len(req.Sequences) > 0 {
-		s.fail(w, http.StatusBadRequest, "bad_request", `set either "sequence" or "sequences", not both`)
+		s.fail(w, r, http.StatusBadRequest, "bad_request", `set either "sequence" or "sequences", not both`)
 		return
 	}
 	seqs := req.Sequences
@@ -216,16 +256,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		seqs = []string{req.Sequence}
 	}
 	if len(seqs) == 0 {
-		s.fail(w, http.StatusBadRequest, "bad_request", `missing "sequence" or "sequences"`)
+		s.fail(w, r, http.StatusBadRequest, "bad_request", `missing "sequence" or "sequences"`)
 		return
 	}
 	if len(seqs) > s.maxBatch {
-		s.fail(w, http.StatusRequestEntityTooLarge, "too_large", "batch of %d exceeds the %d-sequence limit", len(seqs), s.maxBatch)
+		s.fail(w, r, http.StatusRequestEntityTooLarge, "too_large", "batch of %d exceeds the %d-sequence limit", len(seqs), s.maxBatch)
 		return
 	}
 	m, ok := s.reg.Get(req.Model)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "not_found", "unknown model %q", req.Model)
+		s.fail(w, r, http.StatusNotFound, "not_found", "unknown model %q", req.Model)
 		return
 	}
 
@@ -265,7 +305,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.sequences.Add(int64(classified))
 	s.metrics.outliers.Add(int64(resp.Outliers))
-	s.metrics.perModel.Add(req.Model, int64(classified))
+	s.metrics.countClassifications(req.Model, int64(classified))
 	elapsed := time.Since(start)
 	s.metrics.observeLatency(elapsed)
 	resp.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
@@ -283,7 +323,6 @@ type ModelEntry struct {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requests.Add("models", 1)
 	models := s.reg.Models()
 	out := struct {
 		Models []ModelEntry `json:"models"`
@@ -300,12 +339,12 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requests.Add("reload", 1)
 	rep, err := s.reg.Reload()
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "internal", "reload: %v", err)
+		s.fail(w, r, http.StatusInternalServerError, "internal", "reload: %v", err)
 		return
 	}
+	s.updateModelGauges()
 	s.logf("server: reload #%d: %d loaded, %d kept, %d removed, %d failed",
 		s.reg.Generation(), len(rep.Loaded), len(rep.Kept), len(rep.Removed), len(rep.Failed))
 	writeJSON(w, rep)
@@ -318,7 +357,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.reg.Len() == 0 {
-		s.metrics.errors.Add("unavailable", 1)
+		s.metrics.countError("unavailable")
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "no models loaded")
@@ -329,5 +368,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		s.metrics.uptime.Set(time.Since(s.metrics.start).Seconds())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.metrics.reg.WritePrometheus(w); err != nil {
+			s.logf("server: writing prometheus exposition: %v", err)
+		}
+		return
+	}
 	writeJSON(w, s.metrics.snapshot())
 }

@@ -294,6 +294,144 @@ func TestHealthReadyMetrics(t *testing.T) {
 	}
 }
 
+// TestRequestIDPropagation pins the correlation-ID contract: a caller's
+// X-Request-ID flows through a batch classify to the response header and
+// into error bodies; absent or unprintable IDs are replaced by a
+// generated one.
+func TestRequestIDPropagation(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Caller-supplied ID echoes through a successful batch classify.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/classify",
+		strings.NewReader(`{"model":"m","sequences":["abababab","dddddddd"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch classify: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "trace-42" {
+		t.Fatalf("response %s = %q, want caller's trace-42", RequestIDHeader, got)
+	}
+
+	// The same ID lands in the error body of a failing request.
+	req, err = http.NewRequest("POST", ts.URL+"/v1/classify",
+		strings.NewReader(`{"model":"ghost","sequence":"ab"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "trace-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var e errorBody
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body %q: %v", data, err)
+	}
+	if e.RequestID != "trace-42" {
+		t.Fatalf("error body request_id = %q, want trace-42 (%s)", e.RequestID, data)
+	}
+
+	// No header: the server generates a 16-hex-char ID.
+	resp, _ = postClassify(t, ts.URL, `{"model":"m","sequence":"abab"}`)
+	gen := resp.Header.Get(RequestIDHeader)
+	if len(gen) != 16 {
+		t.Fatalf("generated ID %q, want 16 hex chars", gen)
+	}
+
+	// Non-printable-ASCII or oversized IDs are discarded, not echoed.
+	// (Truly binary values never reach the server: Go's client rejects
+	// them; a space is the representative in-band invalid byte.)
+	for name, bad := range map[string]string{
+		"embedded space": "evil id",
+		"oversized":      strings.Repeat("x", 200),
+	} {
+		req, err = http.NewRequest("GET", ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(RequestIDHeader, bad)
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get(RequestIDHeader); got == bad || len(got) != 16 {
+			t.Fatalf("%s ID: echoed %q, want a fresh generated ID", name, got)
+		}
+	}
+}
+
+// TestMetricsPrometheus checks the ?format=prom surface: correct content
+// type and well-formed exposition lines covering the server, pool, and
+// registry metric families.
+func TestMetricsPrometheus(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	postClassify(t, ts.URL, `{"model":"m","sequences":["abababab","dddddddd"]}`)
+	postClassify(t, ts.URL, `{"model":"ghost","sequence":"ab"}`)
+	rr, err := http.Post(ts.URL+"/v1/models/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		"# TYPE cluseqd_requests_total counter",
+		`cluseqd_requests_total{route="classify"} 2`,
+		`cluseqd_responses_total{route="classify",status="404"} 1`,
+		`cluseqd_errors_total{class="not_found"} 1`,
+		"cluseqd_sequences_total 2",
+		"cluseqd_outliers_total 1",
+		`cluseqd_classifications_total{model="m"} 2`,
+		"# TYPE cluseqd_classify_latency_ms summary",
+		"cluseqd_classify_latency_ms_count 1",
+		"# TYPE cluseqd_uptime_seconds gauge",
+		`cluseqd_model_clusters{model="m"} 1`,
+		"cluseq_registry_reloads_total 1",
+		"cluseqd_pool_runs_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every non-comment line must be "name_or_labels value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Split(line, " "); len(fields) != 2 {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
 // TestHotReloadUnderFire rewrites and reloads the model while classify
 // requests stream in; every classify must succeed (-race covers the
 // snapshot discipline).
