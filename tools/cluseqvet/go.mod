@@ -1,0 +1,3 @@
+module cluseq/tools/cluseqvet
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package analysis is a deliberately small, dependency-free stand-in for
+// golang.org/x/tools/go/analysis. The build environment for this repo is
+// offline (no module proxy), so cluseqvet carries its own Analyzer/Pass
+// contract, its own package loader (go list -export + the gc export-data
+// importer), and its own `go vet -vettool` protocol implementation. The
+// shapes mirror x/tools closely enough that the analyzers could be ported
+// to the real framework by changing imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run inspects a single package via its
+// Pass and reports diagnostics; cross-package state flows through the
+// shared Index (facts).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, already positioned.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries everything one analyzer needs to inspect one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Dirs     *Directives
+	Index    *Index
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic unless a matching //cluseq:allow waiver
+// covers the position. Waiver bookkeeping (used/unused) lives here so
+// individual analyzers never have to know the waiver syntax.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Dirs != nil && p.Dirs.waive(p.Analyzer.Name, pos, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Dirs       *Directives
+}
+
+// Run applies every analyzer to pkg, then reports per-analyzer waiver
+// hygiene (empty reasons, unused waivers). Diagnostics come back sorted
+// by position for stable output.
+func Run(pkg *Package, analyzers []*Analyzer, index *Index) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			Dirs:     pkg.Dirs,
+			Index:    index,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	if pkg.Dirs != nil {
+		names := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			names[a.Name] = true
+		}
+		diags = append(diags, pkg.Dirs.hygiene(names)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

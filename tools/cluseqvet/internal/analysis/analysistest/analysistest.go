@@ -1,0 +1,263 @@
+// Package analysistest runs one analyzer over fixture packages rooted
+// at testdata/src and checks its diagnostics against // want comments,
+// in the manner of golang.org/x/tools/go/analysis/analysistest (which
+// this offline build cannot depend on).
+//
+// A fixture file marks expectations on the line they occur:
+//
+//	x := seen[k] // want `map access in hot path`
+//
+// Each backquoted or double-quoted argument is a regexp; every
+// diagnostic must match an expectation on its line and every
+// expectation must be matched by some diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cluseq/tools/cluseqvet/internal/analysis"
+)
+
+// Run analyzes the fixture packages at testdata/src/<path> with the
+// given analyzers (sharing one facts index across all of them, in
+// order) and checks // want expectations in each listed package.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	index := analysis.NewIndex()
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		index.AddAnnotations(pkg.ImportPath, pkg.Dirs.Annotations())
+		diags, err := analysis.Run(pkg, analyzers, index)
+		if err != nil {
+			t.Fatalf("running on %s: %v", path, err)
+		}
+		check(t, l.fset, pkg, diags)
+	}
+}
+
+// check diffs diagnostics against the package's want expectations.
+func check(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		fileName := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				k := key{fileName, fset.Position(c.Pos()).Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+			continue
+		}
+		wants[k][matched] = nil
+	}
+	var leftover []string
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				leftover = append(leftover, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re))
+			}
+		}
+	}
+	sort.Strings(leftover)
+	for _, msg := range leftover {
+		t.Error(msg)
+	}
+}
+
+// parseWant extracts the regexp arguments of a `// want ...` comment.
+// The marker may trail other comment text (`//cluseq:allow x: // want
+// ...`) so fixtures can assert on waiver-hygiene diagnostics.
+func parseWant(text string) ([]string, bool) {
+	const marker = "// want "
+	var body string
+	if b, ok := strings.CutPrefix(text, marker); ok {
+		body = b
+	} else if i := strings.Index(text, " "+marker); i >= 0 {
+		body = text[i+1+len(marker):]
+	} else {
+		return nil, false
+	}
+	var patterns []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return patterns, true
+			}
+			patterns = append(patterns, rest[1:1+end])
+			rest = strings.TrimSpace(rest[2+end:])
+		case '"':
+			// Find the closing quote by expanding prefixes until Unquote
+			// succeeds (escapes make a plain IndexByte wrong).
+			parsed := false
+			for i := 1; i < len(rest); i++ {
+				if rest[i] != '"' {
+					continue
+				}
+				if u, err := strconv.Unquote(rest[:i+1]); err == nil {
+					patterns = append(patterns, u)
+					rest = strings.TrimSpace(rest[i+1:])
+					parsed = true
+					break
+				}
+			}
+			if !parsed {
+				return patterns, true
+			}
+		default:
+			return patterns, true
+		}
+	}
+	return patterns, true
+}
+
+// loader loads fixture packages from a src root, resolving fixture
+// imports recursively and everything else through gc export data.
+type loader struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*analysis.Package
+	tcach map[string]*types.Package
+	std   types.Importer
+	exp   map[string]string
+}
+
+func newLoader(root string) *loader {
+	l := &loader{
+		root:  root,
+		fset:  token.NewFileSet(),
+		cache: map[string]*analysis.Package{},
+		tcach: map[string]*types.Package{},
+		exp:   map[string]string{},
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exp[path]
+		if !ok {
+			out, err := exec.Command("go", "list", "-e", "-export", "-f", "{{.Export}}", path).Output()
+			if err != nil {
+				return nil, fmt.Errorf("go list -export %s: %v", path, err)
+			}
+			file = strings.TrimSpace(string(out))
+			if file == "" {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			l.exp[path] = file
+		}
+		return os.Open(file)
+	})
+	return l
+}
+
+// Import implements types.Importer over fixtures-then-stdlib.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.tcach[path]; ok {
+		return p, nil
+	}
+	if dirExists(filepath.Join(l.root, path)) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	p, err := l.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.tcach[path] = p
+	return p, nil
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	pkg := &analysis.Package{
+		ImportPath: path,
+		Fset:       l.fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		Dirs:       analysis.ParseDirectives(l.fset, files),
+	}
+	l.cache[path] = pkg
+	l.tcach[path] = tpkg
+	return pkg, nil
+}
+
+func dirExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

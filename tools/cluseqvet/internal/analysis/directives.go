@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive names accepted in function doc comments. Each marks the
+// function as subject to one analyzer's contract.
+var annotationNames = map[string]bool{
+	"hotpath":       true, // hotpath analyzer: no logs/locks/maps/allocation
+	"deterministic": true, // determinism analyzer: no wall clock / rand / unordered map ranges
+	"fanout":        true, // poolsafety analyzer: closure args follow the indexed-write rule
+}
+
+// waiver is one //cluseq:allow comment: it silences diagnostics of one
+// named analyzer within a source span (the statement it is attached to).
+type waiver struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	line     int
+	// span covers the statement the waiver annotates: the largest
+	// statement starting on the waiver's line (end-of-line form), or the
+	// first statement starting on the following line (standalone form).
+	lo, hi token.Pos
+	used   bool
+}
+
+// Directives is the parsed //cluseq: state of one package.
+type Directives struct {
+	fset *token.FileSet
+	// annotated maps a function key ("Func" or "Recv.Func") to its
+	// directive set for this package.
+	annotated map[string]map[string]bool
+	// funcs maps *ast.FuncDecl to the same directive sets, for analyzers
+	// walking declarations.
+	funcs map[*ast.FuncDecl]map[string]bool
+	// waivers in file order.
+	waivers []*waiver
+	// problems are directive-syntax findings (unknown names, misplaced
+	// annotations) reported by the driver, not by any one analyzer.
+	problems []Diagnostic
+}
+
+// FuncKey returns the lookup key for a declared function: "Name" for
+// package functions, "Recv.Name" for methods (pointer receivers strip
+// the star).
+func FuncKey(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// Annotated reports whether the named function in this package carries
+// the directive.
+func (d *Directives) Annotated(key, directive string) bool {
+	return d != nil && d.annotated[key][directive]
+}
+
+// FuncDirectives returns the directive set of a declaration (nil if
+// unannotated).
+func (d *Directives) FuncDirectives(decl *ast.FuncDecl) map[string]bool {
+	if d == nil {
+		return nil
+	}
+	return d.funcs[decl]
+}
+
+// Annotations returns a copy of the package's key → directive-set map,
+// for export into the cross-package Index.
+func (d *Directives) Annotations() map[string][]string {
+	out := make(map[string][]string, len(d.annotated))
+	for key, set := range d.annotated {
+		for dir := range set {
+			out[key] = append(out[key], dir)
+		}
+	}
+	return out
+}
+
+// Problems returns directive-syntax diagnostics (driver-level).
+func (d *Directives) Problems() []Diagnostic {
+	if d == nil {
+		return nil
+	}
+	return d.problems
+}
+
+// waive returns true (and marks the waiver used) when a diagnostic of
+// the named analyzer at pos falls inside a matching waiver's span.
+func (d *Directives) waive(analyzer string, pos token.Pos, position token.Position) bool {
+	for _, w := range d.waivers {
+		if w.analyzer != analyzer || w.reason == "" {
+			continue
+		}
+		if w.lo.IsValid() && pos >= w.lo && pos <= w.hi {
+			w.used = true
+			return true
+		}
+		// End-of-line waivers also cover same-line diagnostics even when
+		// no enclosing statement was resolved (e.g. declarations).
+		if position.Line == w.line && position.Filename == d.fset.Position(w.pos).Filename {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// hygiene reports waiver problems attributable to a specific analyzer in
+// the running set: empty reasons and waivers that silenced nothing.
+func (d *Directives) hygiene(running map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, w := range d.waivers {
+		if !running[w.analyzer] {
+			continue
+		}
+		switch {
+		case w.reason == "":
+			out = append(out, Diagnostic{
+				Analyzer: w.analyzer,
+				Pos:      d.fset.Position(w.pos),
+				Message:  fmt.Sprintf("//cluseq:allow %s requires a reason after the colon", w.analyzer),
+			})
+		case !w.used:
+			out = append(out, Diagnostic{
+				Analyzer: w.analyzer,
+				Pos:      d.fset.Position(w.pos),
+				Message:  fmt.Sprintf("unused //cluseq:allow waiver for %s", w.analyzer),
+			})
+		}
+	}
+	return out
+}
+
+// ParseDirectives scans the package's comments for //cluseq: directives,
+// attaches annotations to their functions, and resolves waiver spans.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		fset:      fset,
+		annotated: map[string]map[string]bool{},
+		funcs:     map[*ast.FuncDecl]map[string]bool{},
+	}
+	for _, f := range files {
+		// Doc-comment annotations.
+		docComments := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				name, rest, isDirective := splitDirective(c.Text)
+				if !isDirective {
+					continue
+				}
+				docComments[c] = true
+				if name == "allow" {
+					d.problems = append(d.problems, Diagnostic{
+						Analyzer: "cluseqvet",
+						Pos:      fset.Position(c.Pos()),
+						Message:  "//cluseq:allow belongs on the waived statement, not in a function doc comment",
+					})
+					continue
+				}
+				if !annotationNames[name] {
+					d.problems = append(d.problems, Diagnostic{
+						Analyzer: "cluseqvet",
+						Pos:      fset.Position(c.Pos()),
+						Message:  fmt.Sprintf("unknown //cluseq: directive %q", name),
+					})
+					continue
+				}
+				if rest != "" {
+					d.problems = append(d.problems, Diagnostic{
+						Analyzer: "cluseqvet",
+						Pos:      fset.Position(c.Pos()),
+						Message:  fmt.Sprintf("//cluseq:%s takes no arguments", name),
+					})
+					continue
+				}
+				key := FuncKey(fd)
+				if d.annotated[key] == nil {
+					d.annotated[key] = map[string]bool{}
+				}
+				d.annotated[key][name] = true
+				if d.funcs[fd] == nil {
+					d.funcs[fd] = map[string]bool{}
+				}
+				d.funcs[fd][name] = true
+			}
+		}
+		// Waivers and stray directives everywhere else.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if docComments[c] {
+					continue
+				}
+				name, _, isDirective := splitDirective(c.Text)
+				if !isDirective {
+					continue
+				}
+				if name != "allow" {
+					if annotationNames[name] {
+						d.problems = append(d.problems, Diagnostic{
+							Analyzer: "cluseqvet",
+							Pos:      fset.Position(c.Pos()),
+							Message:  fmt.Sprintf("//cluseq:%s must be the doc comment of a function declaration", name),
+						})
+					} else {
+						d.problems = append(d.problems, Diagnostic{
+							Analyzer: "cluseqvet",
+							Pos:      fset.Position(c.Pos()),
+							Message:  fmt.Sprintf("unknown //cluseq: directive %q", name),
+						})
+					}
+					continue
+				}
+				w := parseWaiver(c, fset)
+				if w == nil {
+					d.problems = append(d.problems, Diagnostic{
+						Analyzer: "cluseqvet",
+						Pos:      fset.Position(c.Pos()),
+						Message:  `malformed waiver: want "//cluseq:allow <analyzer>: <reason>"`,
+					})
+					continue
+				}
+				d.waivers = append(d.waivers, w)
+			}
+		}
+		d.resolveSpans(f)
+	}
+	return d
+}
+
+// splitDirective decomposes "//cluseq:name rest". Directive comments have
+// no space after "//" (the Go directive convention).
+func splitDirective(text string) (name, rest string, ok bool) {
+	const prefix = "//cluseq:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	body := text[len(prefix):]
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		return body[:i], strings.TrimSpace(body[i+1:]), true
+	}
+	return body, "", true
+}
+
+// parseWaiver parses "//cluseq:allow <analyzer>: <reason>". A missing
+// reason yields a waiver with reason "" (the hygiene pass rejects it —
+// keeping the analyzer attribution lets the diagnostic name the right
+// check). A missing analyzer or colon is malformed (nil).
+func parseWaiver(c *ast.Comment, fset *token.FileSet) *waiver {
+	_, rest, _ := splitDirective(c.Text)
+	name, reason, found := strings.Cut(rest, ":")
+	name = strings.TrimSpace(name)
+	if !found || name == "" || strings.ContainsAny(name, " \t") {
+		return nil
+	}
+	// Fixtures append "// want ..." expectations to waiver comments;
+	// they are not part of the reason.
+	if i := strings.Index(reason, "// want"); i >= 0 {
+		reason = reason[:i]
+	}
+	return &waiver{
+		analyzer: name,
+		reason:   strings.TrimSpace(reason),
+		pos:      c.Pos(),
+		line:     fset.Position(c.Pos()).Line,
+	}
+}
+
+// resolveSpans attaches each waiver in f to a statement: the largest
+// statement starting on the waiver's own line (end-of-line form,
+// `stmt // cluseq:allow ...`), or failing that the first statement
+// starting on the immediately following line (standalone form).
+func (d *Directives) resolveSpans(f *ast.File) {
+	type stmtSpan struct{ lo, hi token.Pos }
+	startLine := map[int]stmtSpan{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		if _, isBlock := s.(*ast.BlockStmt); isBlock {
+			return true
+		}
+		line := d.fset.Position(s.Pos()).Line
+		if cur, ok := startLine[line]; !ok || s.End()-s.Pos() > cur.hi-cur.lo {
+			startLine[line] = stmtSpan{s.Pos(), s.End()}
+		}
+		return true
+	})
+	fileName := d.fset.Position(f.Pos()).Filename
+	for _, w := range d.waivers {
+		if w.lo.IsValid() || d.fset.Position(w.pos).Filename != fileName {
+			continue
+		}
+		if sp, ok := startLine[w.line]; ok && sp.lo < w.pos {
+			w.lo, w.hi = sp.lo, sp.hi
+			continue
+		}
+		if sp, ok := startLine[w.line+1]; ok {
+			w.lo, w.hi = sp.lo, sp.hi
+		}
+	}
+}

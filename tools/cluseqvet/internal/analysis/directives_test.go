@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) *Directives {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ParseDirectives(fset, []*ast.File{f})
+}
+
+func TestDirectiveProblems(t *testing.T) {
+	const src = `package p
+
+//cluseq:hotpath
+func hot() {}
+
+//cluseq:bogus
+func other() {}
+
+func body() {
+	//cluseq:deterministic
+	x := 1
+	_ = x
+	//cluseq:allow hotpath missing colon entirely
+	y := 2
+	_ = y
+}
+`
+	d := parseSrc(t, src)
+	if !d.Annotated("hot", "hotpath") {
+		t.Error("hot() not recorded as hotpath-annotated")
+	}
+	var msgs []string
+	for _, p := range d.Problems() {
+		msgs = append(msgs, p.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		`unknown //cluseq: directive "bogus"`,
+		"//cluseq:deterministic must be the doc comment of a function declaration",
+		"malformed waiver",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing problem %q in:\n%s", want, joined)
+		}
+	}
+	if len(msgs) != 3 {
+		t.Errorf("want exactly 3 problems, got %d:\n%s", len(msgs), joined)
+	}
+}
+
+func TestMethodKeys(t *testing.T) {
+	const src = `package p
+
+type T struct{}
+
+//cluseq:hotpath
+func (t *T) Scan() {}
+
+//cluseq:deterministic
+func (t T) Phase() {}
+`
+	d := parseSrc(t, src)
+	if !d.Annotated("T.Scan", "hotpath") {
+		t.Error("pointer-receiver method key T.Scan not annotated")
+	}
+	if !d.Annotated("T.Phase", "deterministic") {
+		t.Error("value-receiver method key T.Phase not annotated")
+	}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"sort"
+)
+
+// MetricReg records one metric-name registration site, for the
+// obscontract uniqueness check. Site strings ("file:line") double as
+// identity so re-analysis of the same source (e.g. the test variant of a
+// package under go vet) does not self-collide.
+type MetricReg struct {
+	Name string
+	Kind string // counter | gauge | histogram
+	Pkg  string
+	Site string
+}
+
+// Facts is the serializable cross-package state: which functions carry
+// which directives, and which metric names are registered where. Each
+// package's exported facts are the union of its own and all its
+// dependencies', so any package sees the full transitive picture.
+type Facts struct {
+	Annotations map[string]map[string][]string // pkg path → func key → directives
+	Metrics     []MetricReg
+}
+
+// Index is the in-memory facts store shared by one analysis run.
+type Index struct {
+	ann     map[string]map[string]map[string]bool
+	metrics map[string]map[string]MetricReg // name → site → registration
+}
+
+func NewIndex() *Index {
+	return &Index{
+		ann:     map[string]map[string]map[string]bool{},
+		metrics: map[string]map[string]MetricReg{},
+	}
+}
+
+// Annotated reports whether pkgPath's function key carries directive.
+func (x *Index) Annotated(pkgPath, key, directive string) bool {
+	return x.ann[pkgPath][key][directive]
+}
+
+// AddAnnotations merges one package's key → directives map.
+func (x *Index) AddAnnotations(pkgPath string, ann map[string][]string) {
+	if len(ann) == 0 {
+		return
+	}
+	pkg := x.ann[pkgPath]
+	if pkg == nil {
+		pkg = map[string]map[string]bool{}
+		x.ann[pkgPath] = pkg
+	}
+	for key, dirs := range ann {
+		set := pkg[key]
+		if set == nil {
+			set = map[string]bool{}
+			pkg[key] = set
+		}
+		for _, d := range dirs {
+			set[d] = true
+		}
+	}
+}
+
+// Metrics returns all known registrations of a metric name.
+func (x *Index) Metrics(name string) []MetricReg {
+	sites := x.metrics[name]
+	out := make([]MetricReg, 0, len(sites))
+	for _, r := range sites {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// AddMetric records a registration; idempotent per site.
+func (x *Index) AddMetric(r MetricReg) {
+	sites := x.metrics[r.Name]
+	if sites == nil {
+		sites = map[string]MetricReg{}
+		x.metrics[r.Name] = sites
+	}
+	sites[r.Site] = r
+}
+
+// Export snapshots the index as Facts (the union view).
+func (x *Index) Export() *Facts {
+	f := &Facts{Annotations: map[string]map[string][]string{}}
+	for pkg, keys := range x.ann {
+		m := map[string][]string{}
+		for key, dirs := range keys {
+			var list []string
+			for d := range dirs {
+				list = append(list, d)
+			}
+			sort.Strings(list)
+			m[key] = list
+		}
+		f.Annotations[pkg] = m
+	}
+	for _, sites := range x.metrics {
+		for _, r := range sites {
+			f.Metrics = append(f.Metrics, r)
+		}
+	}
+	sort.Slice(f.Metrics, func(i, j int) bool {
+		if f.Metrics[i].Name != f.Metrics[j].Name {
+			return f.Metrics[i].Name < f.Metrics[j].Name
+		}
+		return f.Metrics[i].Site < f.Metrics[j].Site
+	})
+	return f
+}
+
+// Import merges previously exported facts.
+func (x *Index) Import(f *Facts) {
+	if f == nil {
+		return
+	}
+	for pkg, ann := range f.Annotations {
+		x.AddAnnotations(pkg, ann)
+	}
+	for _, r := range f.Metrics {
+		x.AddMetric(r)
+	}
+}
+
+// WriteFacts serializes the index to path (the vet .vetx file).
+func (x *Index) WriteFacts(path string) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(x.Export()); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
+}
+
+// ReadFacts merges a serialized facts file into the index. Empty files
+// (packages outside the analyzed module) are fine.
+func (x *Index) ReadFacts(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	var f Facts
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		return err
+	}
+	x.Import(&f)
+	return nil
+}

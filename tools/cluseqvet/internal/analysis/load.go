@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Module     *struct{ Path string }
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the packages matched by patterns,
+// running `go list` in dir. Only packages belonging to dir's main module
+// are returned (in dependency order); their dependencies are consumed as
+// compiled export data, which `go list -export` produces from the local
+// build cache — no network, no source re-typechecking.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Name,Export,Module,Standard,GoFiles,Imports,Error,DepsErrors"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := map[string]*listPackage{}
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		for _, de := range p.DepsErrors {
+			if de != nil {
+				return nil, fmt.Errorf("go list: %s: dependency error: %s", p.ImportPath, de.Err)
+			}
+		}
+		byPath[p.ImportPath] = &p
+		order = append(order, p.ImportPath)
+	}
+
+	modPath, err := mainModule(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	for path, p := range byPath {
+		if p.Export != "" {
+			exports[path] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	// -deps emits dependencies before dependents, so filtering `order`
+	// preserves dependency order among the module's own packages.
+	var pkgs []*Package
+	for _, path := range order {
+		p := byPath[path]
+		if p.Standard || p.Module == nil || p.Module.Path != modPath || p.Name == "" {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func mainModule(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m in %s: %v", dir, err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// typeCheck parses and checks one source package against export data.
+func typeCheck(fset *token.FileSet, imp types.Importer, p *listPackage) (*Package, error) {
+	var files []*ast.File
+	names := append([]string(nil), p.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(p.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", buildArch()),
+	}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		Dirs:       ParseDirectives(fset, files),
+	}, nil
+}
+
+// NewInfo allocates the types.Info maps analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+// newExportImporter returns a types.Importer that resolves import paths
+// through gc export-data files. Paths without a known export file fall
+// back to `go list -export` one package at a time (cached), which serves
+// the analysistest fixtures' stdlib imports.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			f, err := listExport(path)
+			if err != nil {
+				return nil, err
+			}
+			exports[path] = f
+			file = f
+		}
+		return os.Open(file)
+	})
+	return base
+}
+
+// listExport asks the go tool for one package's export file.
+func listExport(path string) (string, error) {
+	out, err := exec.Command("go", "list", "-e", "-export", "-f", "{{if .Error}}ERR {{.Error.Err}}{{else}}{{.Export}}{{end}}", path).Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -export %s: %v", path, err)
+	}
+	s := strings.TrimSpace(string(out))
+	if strings.HasPrefix(s, "ERR ") || s == "" {
+		return "", fmt.Errorf("no export data for %q: %s", path, strings.TrimPrefix(s, "ERR "))
+	}
+	return s, nil
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the statically-known function or method a call
+// invokes. It returns nil for dynamic calls (func values, interface
+// methods), conversions, and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // qualified identifier pkg.F
+		}
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// CalleeKey returns the package path and directive key ("Func" or
+// "Recv.Func") of a resolved callee.
+func CalleeKey(f *types.Func) (pkgPath, key string) {
+	if f.Pkg() != nil {
+		pkgPath = f.Pkg().Path()
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return pkgPath, f.Name()
+	}
+	return pkgPath, recvTypeName(sig.Recv().Type()) + "." + f.Name()
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return strings.TrimPrefix(types.TypeString(t, nil), "*")
+}
+
+// IsMap reports whether e's type is a map.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// IsTestFile reports whether the file's position name ends in _test.go.
+// Analyzers skip test files: tests may legitimately use the constructs
+// the contracts forbid (e.g. serial pools with captured accumulators).
+func IsTestFile(p *Pass, f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// ObjOf resolves an identifier to its object via Uses or Defs.
+func ObjOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,284 @@
+// Package determinism enforces the reproducibility contract of
+// //cluseq:deterministic functions: the §4 clustering phases must yield
+// bit-identical results for a fixed seed at any Workers count. Such a
+// function may not read the wall clock (time.Now), may not draw from the
+// global math/rand source (the engine's seeded *rand.Rand is fine), and
+// may only range over a map when the iteration order cannot leak into
+// the result: every statement in the loop body must be order-independent
+// (key-indexed writes, integer accumulation, collecting keys into a
+// slice that is sorted after the loop).
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cluseq/tools/cluseqvet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "check //cluseq:deterministic functions for wall-clock, global rand, and order-dependent map iteration",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pass.Dirs.FuncDirectives(fd)["deterministic"] {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// sortedAfter records "slice expression S has a sort.X/slices.SortX
+	// call at position P" so map-range loops that collect keys can be
+	// cleared by a later sort.
+	type sortCall struct {
+		expr string
+		pos  token.Pos
+	}
+	var sorts []sortCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := analysis.Callee(pass.Info, call)
+		if f == nil || f.Pkg() == nil || len(call.Args) == 0 {
+			return true
+		}
+		switch f.Pkg().Path() {
+		case "sort", "slices":
+			sorts = append(sorts, sortCall{types.ExprString(call.Args[0]), call.Pos()})
+		}
+		return true
+	})
+	sortedAfter := func(e ast.Expr, after token.Pos) bool {
+		s := types.ExprString(e)
+		for _, sc := range sorts {
+			if sc.expr == s && sc.pos > after {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			f := analysis.Callee(pass.Info, n)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			pkg := f.Pkg().Path()
+			sig, _ := f.Type().(*types.Signature)
+			pkgLevel := sig == nil || sig.Recv() == nil
+			switch {
+			case pkg == "time" && f.Name() == "Now":
+				pass.Reportf(n.Pos(), "time.Now in deterministic function")
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && pkgLevel:
+				pass.Reportf(n.Pos(), "package-level %s.%s in deterministic function (use the engine's seeded *rand.Rand)", pkg, f.Name())
+			}
+		case *ast.RangeStmt:
+			if !analysis.IsMap(pass.Info, n.X) {
+				return true
+			}
+			keyObj := rangeVarObj(pass.Info, n.Key)
+			if bad, what := checkRangeBody(pass, n.Body, keyObj, sortedAfter, n.Body.End()); bad {
+				pass.Reportf(n.Pos(), "map range with order-dependent body in deterministic function (%s); sort the keys first or //cluseq:allow with a reason", what)
+			}
+			return false // already vetted the body statement-by-statement
+		}
+		return true
+	})
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return analysis.ObjOf(info, id)
+}
+
+// checkRangeBody walks a map-range body and reports the first construct
+// whose effect depends on iteration order.
+func checkRangeBody(pass *analysis.Pass, body *ast.BlockStmt, key types.Object, sortedAfter func(ast.Expr, token.Pos) bool, loopEnd token.Pos) (bad bool, what string) {
+	var visit func(stmts []ast.Stmt) (bool, string)
+	visit = func(stmts []ast.Stmt) (bool, string) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				if b, w := checkAssign(pass, s, key, sortedAfter, loopEnd); b {
+					return true, w
+				}
+			case *ast.IncDecStmt:
+				// Counting (x++/x--) commutes for integers and for the
+				// exact +1.0 float step.
+			case *ast.IfStmt:
+				if callFree(pass, s.Cond) != nil {
+					return true, "call in condition"
+				}
+				if b, w := visit(s.Body.List); b {
+					return true, w
+				}
+				if s.Else != nil {
+					switch e := s.Else.(type) {
+					case *ast.BlockStmt:
+						if b, w := visit(e.List); b {
+							return true, w
+						}
+					case *ast.IfStmt:
+						if b, w := visit([]ast.Stmt{e}); b {
+							return true, w
+						}
+					}
+				}
+			case *ast.BlockStmt:
+				if b, w := visit(s.List); b {
+					return true, w
+				}
+			case *ast.DeclStmt:
+				// var declarations introduce locals; fine.
+			case *ast.BranchStmt:
+				if s.Tok == token.BREAK {
+					return true, "break exits on an order-dependent iteration"
+				}
+				// continue only skips; order-neutral.
+			case *ast.ReturnStmt:
+				return true, "return inside map range"
+			default:
+				return true, "statement of kind " + nodeKind(s)
+			}
+		}
+		return false, ""
+	}
+	return visit(body.List)
+}
+
+// checkAssign vets one assignment inside a map-range body.
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt, key types.Object, sortedAfter func(ast.Expr, token.Pos) bool, loopEnd token.Pos) (bool, string) {
+	if s.Tok == token.DEFINE {
+		return false, "" // new locals are per-iteration
+	}
+	for i, lhs := range s.Lhs {
+		// Key-indexed element writes land deterministically regardless of
+		// visit order.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && key != nil && mentions(pass.Info, ix.Index, key) {
+			continue
+		}
+		// x = append(x, ...) is fine when x is sorted after the loop.
+		if i < len(s.Rhs) {
+			if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isAppend(pass.Info, call) && len(call.Args) > 0 &&
+				types.ExprString(call.Args[0]) == types.ExprString(lhs) {
+				if sortedAfter(lhs, loopEnd) {
+					continue
+				}
+				return true, "appends to " + types.ExprString(lhs) + " which is never sorted afterwards"
+			}
+		}
+		// Integer op-assign accumulation commutes exactly.
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			if isInteger(pass.Info, lhs) {
+				continue
+			}
+			if isFloat(pass.Info, lhs) {
+				return true, "floating-point accumulation over map order"
+			}
+		case token.MUL_ASSIGN:
+			if isInteger(pass.Info, lhs) {
+				continue
+			}
+			return true, "floating-point accumulation over map order"
+		}
+		return true, "writes " + types.ExprString(lhs) + " dependent on iteration order"
+	}
+	return false, ""
+}
+
+// callFree returns the first call expression found in e (nil if none),
+// ignoring len/cap.
+func callFree(pass *analysis.Pass, e ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found != nil {
+			return found == nil
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := analysis.ObjOf(pass.Info, id).(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				return true
+			}
+		}
+		found = call
+		return false
+	})
+	return found
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := analysis.ObjOf(info, id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func mentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && analysis.ObjOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isInteger(info *types.Info, e ast.Expr) bool {
+	return basicInfo(info, e)&types.IsInteger != 0
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	return basicInfo(info, e)&types.IsFloat != 0
+}
+
+func basicInfo(info *types.Info, e ast.Expr) types.BasicInfo {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return 0
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	return b.Info()
+}
+
+func nodeKind(n ast.Node) string {
+	switch n.(type) {
+	case *ast.ExprStmt:
+		return "call statement"
+	case *ast.ForStmt, *ast.RangeStmt:
+		return "nested loop"
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return "switch"
+	default:
+		return "unsupported statement"
+	}
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"cluseq/tools/cluseqvet/internal/analysis"
+	"cluseq/tools/cluseqvet/internal/analysis/analysistest"
+	"cluseq/tools/cluseqvet/internal/analyzers/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{determinism.Analyzer}, "determtest")
+}

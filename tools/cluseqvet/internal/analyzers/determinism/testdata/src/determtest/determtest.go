@@ -1,0 +1,118 @@
+package determtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type engine struct{ rng *rand.Rand }
+
+//cluseq:deterministic
+func clock() int64 {
+	return time.Now().Unix() // want `time\.Now in deterministic function`
+}
+
+//cluseq:deterministic
+func draw(e *engine) int {
+	a := e.rng.Intn(10) // a method on the seeded source is fine
+	b := rand.Intn(10)  // want `package-level math/rand\.Intn in deterministic function`
+	return a + b
+}
+
+//cluseq:deterministic
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // fine: keys are sorted after the loop
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+//cluseq:deterministic
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys which is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//cluseq:deterministic
+func indexed(m map[int]string, out []string) {
+	for k, v := range m {
+		out[k] = v // fine: element writes partitioned by the key
+	}
+}
+
+//cluseq:deterministic
+func counted(m map[int]bool) int {
+	n := 0
+	for range m {
+		n++ // fine: integer counting commutes
+	}
+	return n
+}
+
+//cluseq:deterministic
+func intSum(m map[int]int) int {
+	t := 0
+	for _, v := range m {
+		t += v // fine: integer addition commutes exactly
+	}
+	return t
+}
+
+//cluseq:deterministic
+func floatAccum(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m { // want `floating-point accumulation`
+		t += v
+	}
+	return t
+}
+
+//cluseq:deterministic
+func earlyBreak(m map[int]bool) {
+	for k := range m { // want `break exits on an order-dependent iteration`
+		if k > 3 {
+			break
+		}
+	}
+}
+
+//cluseq:deterministic
+func earlyReturn(m map[int]bool) int {
+	for k := range m { // want `return inside map range`
+		return k
+	}
+	return -1
+}
+
+//cluseq:deterministic
+func callInBody(m map[int]bool, sink func(int)) {
+	for k := range m { // want `order-dependent body`
+		sink(k)
+	}
+}
+
+//cluseq:deterministic
+func waivedRange(m map[int]bool) int {
+	best := -1
+	for k := range m { //cluseq:allow determinism: max over int keys is order-independent
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+//cluseq:deterministic
+func sliceRange(xs []float64) float64 {
+	t := 0.0
+	for _, v := range xs {
+		t += v // fine: slice iteration order is fixed
+	}
+	return t
+}

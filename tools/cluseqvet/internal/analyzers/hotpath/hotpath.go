@@ -1,0 +1,197 @@
+// Package hotpath enforces the allocation/locking discipline of
+// //cluseq:hotpath functions: the compiled snapshot scan, the tree
+// similarity fallback, pool dispatch, and obs handle updates. A hot
+// function may not log, format, allocate, touch maps, defer, or block on
+// synchronization, and may only call other hotpath-annotated functions
+// (plus a small allowlist: sync/atomic, and math except the Log family).
+// Violations that are deliberate carry a //cluseq:allow hotpath waiver
+// with a reason.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cluseq/tools/cluseqvet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "check //cluseq:hotpath functions for logs, locks, maps, allocation, and unannotated callees",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pass.Dirs.FuncDirectives(fd)["hotpath"] {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocation in hot path")
+			return false // the literal's body runs outside this function's contract
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path")
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch in hot path")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send in hot path")
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select in hot path")
+		case *ast.UnaryExpr:
+			switch n.Op {
+			case token.ARROW:
+				pass.Reportf(n.Pos(), "channel receive in hot path")
+			case token.AND:
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "allocation in hot path: pointer to composite literal")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "allocation in hot path: map literal")
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "allocation in hot path: slice literal")
+				}
+			}
+		case *ast.IndexExpr:
+			if analysis.IsMap(pass.Info, n.X) {
+				pass.Reportf(n.Pos(), "map access in hot path")
+			}
+		case *ast.RangeStmt:
+			if analysis.IsMap(pass.Info, n.X) {
+				pass.Reportf(n.Pos(), "range over map in hot path")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.Info, n.X) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass.Info, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: numeric conversions are free; string <-> byte/rune
+	// slice conversions allocate.
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		dst := tv.Type.Underlying()
+		if b, ok := dst.(*types.Basic); ok && b.Info()&types.IsString != 0 && len(call.Args) == 1 && !isString(pass.Info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "allocation in hot path: conversion to string")
+		}
+		if _, ok := dst.(*types.Slice); ok && len(call.Args) == 1 && isString(pass.Info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "allocation in hot path: conversion of string to slice")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := analysis.ObjOf(pass.Info, id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "allocation in hot path: append")
+			case "make":
+				pass.Reportf(call.Pos(), "allocation in hot path: make")
+			case "new":
+				pass.Reportf(call.Pos(), "allocation in hot path: new")
+			case "delete", "clear":
+				pass.Reportf(call.Pos(), "map mutation in hot path: %s", b.Name())
+			case "close":
+				pass.Reportf(call.Pos(), "channel operation in hot path: close")
+			case "panic":
+				pass.Reportf(call.Pos(), "panic in hot path")
+			case "print", "println":
+				pass.Reportf(call.Pos(), "%s in hot path", b.Name())
+			}
+			return
+		}
+	}
+
+	f := analysis.Callee(pass.Info, call)
+	if f == nil {
+		pass.Reportf(call.Pos(), "dynamic call in hot path")
+		return
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			pass.Reportf(call.Pos(), "dynamic call in hot path: interface method %s", f.Name())
+			return
+		}
+	}
+
+	pkgPath, key := analysis.CalleeKey(f)
+	switch pkgPath {
+	case "sync/atomic":
+		return // lock-free by definition
+	case "math":
+		if strings.HasPrefix(f.Name(), "Log") {
+			pass.Reportf(call.Pos(), "hot path calls math.%s", f.Name())
+		}
+		return // the rest of math compiles to straight-line float ops
+	case "fmt":
+		pass.Reportf(call.Pos(), "hot path calls fmt.%s", f.Name())
+		return
+	case "sync":
+		pass.Reportf(call.Pos(), "synchronization call sync.%s in hot path", key)
+		return
+	}
+	if annotated(pass, pkgPath, key) {
+		return
+	}
+	pass.Reportf(call.Pos(), "hot path calls unannotated function %s", callName(pkgPath, key, pass))
+}
+
+func annotated(pass *analysis.Pass, pkgPath, key string) bool {
+	if pkgPath == pass.Pkg.Path() && pass.Dirs.Annotated(key, "hotpath") {
+		return true
+	}
+	return pass.Index.Annotated(pkgPath, key, "hotpath")
+}
+
+func callName(pkgPath, key string, pass *analysis.Pass) string {
+	if pkgPath == "" || pkgPath == pass.Pkg.Path() {
+		return key
+	}
+	if i := strings.LastIndex(pkgPath, "/"); i >= 0 {
+		return pkgPath[i+1:] + "." + key
+	}
+	return pkgPath + "." + key
+}

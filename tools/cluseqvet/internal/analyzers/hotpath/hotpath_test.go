@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"cluseq/tools/cluseqvet/internal/analysis"
+	"cluseq/tools/cluseqvet/internal/analysis/analysistest"
+	"cluseq/tools/cluseqvet/internal/analyzers/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{hotpath.Analyzer}, "hotpathtest")
+}

@@ -1,0 +1,85 @@
+package hotpathtest
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+//cluseq:hotpath
+func helperOK(x float64) float64 { return x * 2 }
+
+func plain(x float64) float64 { return x }
+
+//cluseq:hotpath
+func scan(xs []float64, m map[int]float64, mu *sync.Mutex, n *atomic.Int64, ch chan int, fn func(int)) float64 {
+	total := math.Abs(xs[0]) // math (non-Log) and slice indexing are fine
+	total += helperOK(total) // annotated callee: fine
+	total += math.Log(total) // want `hot path calls math\.Log`
+	fmt.Println(total)       // want `hot path calls fmt\.Println`
+	total += plain(total)    // want `hot path calls unannotated function plain`
+	total += m[3]            // want `map access in hot path`
+	for k := range m {       // want `range over map in hot path`
+		_ = k
+	}
+	mu.Lock()          // want `synchronization call sync\.Mutex\.Lock in hot path`
+	defer mu.Unlock()  // want `defer in hot path` `synchronization call sync\.Mutex\.Unlock in hot path`
+	n.Add(1)           // sync/atomic: fine
+	ch <- 1            // want `channel send in hot path`
+	<-ch               // want `channel receive in hot path`
+	xs = append(xs, 1) // want `allocation in hot path: append`
+	_ = make([]int, 4) // want `allocation in hot path: make`
+	_ = new(int)       // want `allocation in hot path: new`
+	fn(3)              // want `dynamic call in hot path`
+	_ = func() {}      // want `closure allocation in hot path`
+	return total
+}
+
+type point struct{ x, y int }
+
+//cluseq:hotpath
+func alloc(a, b string, bs []byte) string {
+	c := a + b     // want `string concatenation in hot path`
+	c += a         // want `string concatenation in hot path`
+	_ = string(bs) // want `allocation in hot path: conversion to string`
+	_ = []byte(a)  // want `allocation in hot path: conversion of string to slice`
+	_ = &point{}   // want `allocation in hot path: pointer to composite literal`
+	_ = []int{1}   // want `allocation in hot path: slice literal`
+	_ = point{}    // a by-value struct literal stays on the stack: fine
+	return c
+}
+
+//cluseq:hotpath
+func guard(ok bool) {
+	if !ok {
+		panic("bad") // want `panic in hot path`
+	}
+}
+
+//cluseq:hotpath
+func waived(m map[int]int) int {
+	x := m[0] //cluseq:allow hotpath: frozen lookup table, read-only after build
+	y := m[1] // want `map access in hot path`
+	return x + y
+}
+
+//cluseq:hotpath
+func waivedSpan(m map[int]int) int {
+	total := 0
+	//cluseq:allow hotpath: iteration over a frozen table; the sum is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+//cluseq:hotpath
+func waivedNoReason(m map[int]int) int {
+	return m[1] //cluseq:allow hotpath: // want `requires a reason` `map access in hot path`
+}
+
+//cluseq:hotpath
+func unusedWaiver(x int) int {
+	return x + 1 //cluseq:allow hotpath: nothing on this line violates // want `unused //cluseq:allow waiver for hotpath`
+}

@@ -1,0 +1,14 @@
+package obscontract_test
+
+import (
+	"testing"
+
+	"cluseq/tools/cluseqvet/internal/analysis"
+	"cluseq/tools/cluseqvet/internal/analysis/analysistest"
+	"cluseq/tools/cluseqvet/internal/analyzers/obscontract"
+)
+
+func TestObsContract(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{obscontract.Analyzer},
+		"internal/obs", "obsuser", "obsuser2")
+}

@@ -1,0 +1,19 @@
+package obsuser
+
+import "internal/obs"
+
+var reg = obs.NewRegistry()
+
+var (
+	a = reg.Counter("app_requests_total")
+	b = reg.Counter("bad name")           // want `invalid Prometheus metric name "bad name"`
+	c = reg.Counter("0starts_with_digit") // want `invalid Prometheus metric name`
+	d = reg.Gauge("app_requests_total")   // want `metric "app_requests_total" registered as gauge here but as counter`
+	e = reg.Counter("app_requests_total") // want `metric "app_requests_total" already registered`
+	f = reg.Histogram("app_latency_seconds", 0, 1, 100)
+	g = reg.Counter("app_errors_total", "class", "parse") // labels do not affect the name check
+)
+
+func dynamic(prefix string) *obs.Counter {
+	return reg.Counter(prefix + "_total") // fine: non-literal names are out of static reach
+}

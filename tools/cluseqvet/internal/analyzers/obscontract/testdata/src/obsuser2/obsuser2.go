@@ -1,0 +1,11 @@
+package obsuser2
+
+import "internal/obs"
+
+var reg = obs.NewRegistry()
+
+// The same series name as obsuser registers: a cross-package collision
+// the facts index must carry between packages.
+var dup = reg.Counter("app_requests_total") // want `metric "app_requests_total" already registered`
+
+var ok = reg.Counter("app2_requests_total")

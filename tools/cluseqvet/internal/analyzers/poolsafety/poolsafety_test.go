@@ -1,0 +1,13 @@
+package poolsafety_test
+
+import (
+	"testing"
+
+	"cluseq/tools/cluseqvet/internal/analysis"
+	"cluseq/tools/cluseqvet/internal/analysis/analysistest"
+	"cluseq/tools/cluseqvet/internal/analyzers/poolsafety"
+)
+
+func TestPoolSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{poolsafety.Analyzer}, "fp")
+}

@@ -1,0 +1,118 @@
+// Command cluseqvet is the project's static-analysis suite: four
+// checkers that turn CLUSEQ's load-bearing runtime contracts (hot-path
+// allocation discipline, phase determinism, nil-safe observability
+// handles, fan-out write partitioning) into build failures.
+//
+// It runs two ways:
+//
+//	cluseqvet [-dir d] ./...        # standalone, loads packages itself
+//	go vet -vettool=cluseqvet ./... # as a vet tool (unitchecker protocol)
+//
+// The vet protocol drives one process per package and passes facts
+// between them through .vetx files; standalone mode loads the whole
+// module in dependency order and shares one in-process index. Both
+// print findings as file:line:col: analyzer: message.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cluseq/tools/cluseqvet/internal/analysis"
+	"cluseq/tools/cluseqvet/internal/analyzers/determinism"
+	"cluseq/tools/cluseqvet/internal/analyzers/hotpath"
+	"cluseq/tools/cluseqvet/internal/analyzers/obscontract"
+	"cluseq/tools/cluseqvet/internal/analyzers/poolsafety"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		hotpath.Analyzer,
+		determinism.Analyzer,
+		obscontract.Analyzer,
+		poolsafety.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// The go vet handshake: version fingerprint and flag discovery.
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			printVersion()
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// Unitchecker mode: a single *.cfg argument from go vet.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetMode(args[0]))
+	}
+
+	os.Exit(standalone(args))
+}
+
+// standalone loads the requested packages (default ./...) and runs all
+// analyzers over them in dependency order.
+func standalone(args []string) int {
+	dir := "."
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "--":
+			// go run inserts the separator verbatim; ignore it.
+		case args[i] == "-dir" && i+1 < len(args):
+			dir = args[i+1]
+			i++
+		case strings.HasPrefix(args[i], "-dir="):
+			dir = strings.TrimPrefix(args[i], "-dir=")
+		case strings.HasPrefix(args[i], "-"):
+			fmt.Fprintf(os.Stderr, "cluseqvet: unknown flag %s\n", args[i])
+			return 2
+		default:
+			patterns = append(patterns, args[i])
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := RunDir(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluseqvet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// RunDir is the standalone engine, shared with the tests: load, analyze
+// in dependency order with one facts index, return all diagnostics.
+func RunDir(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	index := analysis.NewIndex()
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		index.AddAnnotations(pkg.ImportPath, pkg.Dirs.Annotations())
+		ds, err := analysis.Run(pkg, analyzers(), index)
+		if err != nil {
+			return diags, err
+		}
+		diags = append(diags, ds...)
+		diags = append(diags, pkg.Dirs.Problems()...)
+	}
+	return diags, nil
+}

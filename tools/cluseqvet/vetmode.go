@@ -1,0 +1,187 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"cluseq/tools/cluseqvet/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go command hands a -vettool for each
+// package (the x/tools unitchecker wire format).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers `cluseqvet -V=full`. The go command caches vet
+// results keyed on this line, so it embeds a content hash of the
+// executable: rebuilding the tool invalidates stale results.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))[:16]
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("cluseqvet version devel-%s\n", id)
+}
+
+// vetMode analyzes one package as directed by a go vet .cfg file and
+// returns the process exit code (0 clean, 2 findings or failure).
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluseqvet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cluseqvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	writeEmpty := func() int {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "cluseqvet:", err)
+				return 2
+			}
+		}
+		return 0
+	}
+
+	// Standard-library dependencies carry no //cluseq: directives and no
+	// obs registry; skip the parse/typecheck entirely.
+	if cfg.Standard[cfg.ImportPath] {
+		return writeEmpty()
+	}
+
+	// The contracts don't apply to test files (a test may use a serial
+	// pool with a captured accumulator on purpose). Non-test files never
+	// depend on test files, so the remainder still type-checks.
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return writeEmpty()
+	}
+
+	fset := token.NewFileSet()
+	var astFiles []*ast.File
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeEmpty()
+			}
+			fmt.Fprintln(os.Stderr, "cluseqvet:", err)
+			return 2
+		}
+		astFiles = append(astFiles, f)
+	}
+
+	imp := cfgImporter(fset, &cfg)
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor(cfg.Compiler, buildArchFromEnv())}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, astFiles, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeEmpty()
+		}
+		fmt.Fprintln(os.Stderr, "cluseqvet:", err)
+		return 2
+	}
+
+	index := analysis.NewIndex()
+	for _, vetx := range cfg.PackageVetx {
+		if err := index.ReadFacts(vetx); err != nil {
+			fmt.Fprintln(os.Stderr, "cluseqvet:", err)
+			return 2
+		}
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      astFiles,
+		Pkg:        tpkg,
+		Info:       info,
+		Dirs:       analysis.ParseDirectives(fset, astFiles),
+	}
+	index.AddAnnotations(cfg.ImportPath, pkg.Dirs.Annotations())
+	diags, err := analysis.Run(pkg, analyzers(), index)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluseqvet:", err)
+		return 2
+	}
+	diags = append(diags, pkg.Dirs.Problems()...)
+
+	if cfg.VetxOutput != "" {
+		if err := index.WriteFacts(cfg.VetxOutput); err != nil {
+			fmt.Fprintln(os.Stderr, "cluseqvet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// cfgImporter resolves imports through the export files go vet lists in
+// the package config, following ImportMap for vendored/canonical paths.
+func cfgImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config %s", path, cfg.ImportPath)
+		}
+		return os.Open(file)
+	})
+}
+
+func buildArchFromEnv() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
