@@ -107,6 +107,8 @@ func (e *engine) newTree() *pst.Tree {
 
 // membershipOf returns, per sequence, the sorted IDs of clusters holding
 // it; used to detect convergence.
+//
+//cluseq:deterministic
 func (e *engine) membershipOf() [][]int {
 	out := make([][]int, e.db.Len())
 	for _, c := range e.clusters {
@@ -134,6 +136,7 @@ func sameMembership(a, b [][]int) bool {
 	return true
 }
 
+//cluseq:deterministic
 func (e *engine) unclusteredIndices() []int {
 	covered := make([]bool, e.db.Len())
 	for _, c := range e.clusters {
@@ -286,6 +289,8 @@ func (e *engine) run() (*Result, error) {
 // refine runs the post-convergence batch refinement passes (see
 // Config.RefinePasses): rebuild every tree from its current members' full
 // sequences, recompute membership at the settled threshold, consolidate.
+//
+//cluseq:deterministic
 func (e *engine) refine() {
 	for pass := 0; pass < e.cfg.RefinePasses; pass++ {
 		for _, c := range e.clusters {
@@ -346,6 +351,8 @@ func (e *engine) refine() {
 
 // primaryAssignment scores every sequence against the clusters it belongs
 // to and returns the index of its best cluster (−1 when unclustered).
+//
+//cluseq:deterministic
 func (e *engine) primaryAssignment() []int {
 	out := make([]int, e.db.Len())
 	for i := range out {
@@ -389,6 +396,8 @@ func (e *engine) primaryAssignment() []int {
 // which hold only with k'_n as the denominator (the surviving fraction of
 // the previous iteration's new clusters); we read the printed k'_c as a
 // typo.
+//
+//cluseq:deterministic
 func (e *engine) newClusterBudget(iter int) int {
 	if iter == 0 {
 		return e.cfg.InitialClusters
@@ -414,6 +423,8 @@ func (e *engine) newClusterBudget(iter int) int {
 // sequences (§4.1): sample m = SampleFactor·kn candidates, build one PST
 // per candidate, then greedily pick the candidate with the least maximal
 // similarity to every existing cluster and already-picked seed.
+//
+//cluseq:deterministic
 func (e *engine) generateClusters(kn int) int {
 	if kn <= 0 {
 		return 0
@@ -500,13 +511,15 @@ func (e *engine) generateClusters(kn int) int {
 // moved past the one it holds. Must be called from the serial sections
 // only — compilation mutates c.snap, and concurrent Similarity calls
 // against a half-built snapshot would race.
+//
+//cluseq:deterministic
 func (e *engine) ensureSnapshot(c *cluster) {
 	if e.cfg.SnapshotOff {
 		c.snap = nil
 		return
 	}
 	if !c.snap.Valid(c.tree) {
-		start := time.Now()
+		start := time.Now() //cluseq:allow determinism: timestamp feeds the compile-seconds histogram only, never the clustering state
 		c.snap = c.tree.CompileSnapshot(e.background)
 		e.iterCompiles++
 		e.met.snapCompiles.Inc()
@@ -516,6 +529,8 @@ func (e *engine) ensureSnapshot(c *cluster) {
 
 // ensureSnapshots refreshes every live cluster's snapshot; call before
 // any parallel scoring fan-out.
+//
+//cluseq:deterministic
 func (e *engine) ensureSnapshots() {
 	for _, c := range e.clusters {
 		e.ensureSnapshot(c)
@@ -527,6 +542,8 @@ func (e *engine) ensureSnapshots() {
 // mid-apply path, where a join just bumped the version — recompiling
 // per mutation would cost more than the pointer walk it saves). Both
 // produce bit-identical results by the snapshot contract.
+//
+//cluseq:deterministic
 func (e *engine) clusterSim(c *cluster, syms []seq.Symbol) pst.Similarity {
 	if c.snap.Valid(c.tree) {
 		return c.snap.Similarity(syms)
@@ -536,6 +553,8 @@ func (e *engine) clusterSim(c *cluster, syms []seq.Symbol) pst.Similarity {
 
 // normalizedLogSim converts a similarity to the per-symbol log scale the
 // thresholds live on (see Config.SimilarityThreshold).
+//
+//cluseq:deterministic
 func (e *engine) normalizedLogSim(sim pst.Similarity, seqLen int) float64 {
 	if e.cfg.RawSimilarity || seqLen == 0 {
 		return sim.LogSim
@@ -557,6 +576,8 @@ func (e *engine) normalizedLogSim(sim pst.Similarity, seqLen int) float64 {
 // their cached value untouched — the cross-iteration cache hit that
 // makes late, nearly-converged iterations almost free. CacheOff
 // forfeits that by clearing every cache up front.
+//
+//cluseq:deterministic
 func (e *engine) scoreClusters() {
 	if len(e.clusters) == 0 {
 		return
@@ -585,6 +606,8 @@ func (e *engine) scoreClusters() {
 // a pair carried over from a previous iteration; the serial apply phase
 // passes false, since there a valid entry is normally just the scoring
 // phase's own work being read back.
+//
+//cluseq:deterministic
 func (e *engine) cachedSim(c *cluster, si int, syms []seq.Symbol, countHit bool) pst.Similarity {
 	ent := &c.cache[si]
 	if v := c.tree.Version(); ent.version != v {
@@ -605,16 +628,18 @@ func (e *engine) cachedSim(c *cluster, si int, syms []seq.Symbol, countHit bool)
 // that cluster — the results are bit-identical to a fully serial pass
 // at any worker count. Returns all (normalized) log-similarities for
 // the threshold histogram.
+//
+//cluseq:deterministic
 func (e *engine) recluster() []float64 {
 	e.cacheHits.Store(0)
 	e.cacheMisses.Store(0)
-	start := time.Now()
+	start := time.Now() //cluseq:allow determinism: timestamp feeds the score-phase span and histogram only, never the clustering state
 	sp := e.cfg.Tracer.Span("score", obs.Int("iter", e.iter+1), obs.Int("clusters", len(e.clusters)))
 	e.scoreClusters()
 	sp.End(obs.Int64("cache_hits", e.cacheHits.Load()), obs.Int64("cache_misses", e.cacheMisses.Load()))
 	e.met.observePhase(e.met.phaseScore, start)
 
-	start = time.Now()
+	start = time.Now() //cluseq:allow determinism: timestamp feeds the apply-phase span and histogram only, never the clustering state
 	sp = e.cfg.Tracer.Span("apply", obs.Int("iter", e.iter+1))
 	order := e.sequenceOrder()
 	logSims := make([]float64, 0, len(order)*max(len(e.clusters), 1))
@@ -660,6 +685,8 @@ func (e *engine) recluster() []float64 {
 }
 
 // sequenceOrder yields the §6.3 examination order.
+//
+//cluseq:deterministic
 func (e *engine) sequenceOrder() []int {
 	n := e.db.Len()
 	switch e.cfg.Order {
@@ -698,6 +725,8 @@ func (e *engine) sequenceOrder() []int {
 // in ascending size order, a cluster is dropped when fewer than
 // MinDistinct of its members are outside every other surviving cluster of
 // larger (or equal, later-scanned) size.
+//
+//cluseq:deterministic
 func (e *engine) consolidate() int {
 	if len(e.clusters) < 2 {
 		return 0
@@ -718,7 +747,7 @@ func (e *engine) consolidate() int {
 	for pos, ci := range idx {
 		c := e.clusters[ci]
 		distinct := 0
-		for m := range c.members {
+		for m := range c.members { //cluseq:allow determinism: pure counting with a threshold early-exit; the tally is independent of visit order
 			coveredElsewhere := false
 			// Only clusters later in the scan order (larger, or equal-size
 			// older) count as cover, matching the paper's "other (larger)
@@ -764,6 +793,8 @@ func (e *engine) consolidate() int {
 // mergeInto absorbs the dismissed cluster c into the surviving later-scan
 // cluster sharing the most members (tree statistics and membership both),
 // implementing the merge-consolidation extension.
+//
+//cluseq:deterministic
 func (e *engine) mergeInto(c *cluster, later []int, dismissed []bool) {
 	var target *cluster
 	bestOverlap := -1
@@ -808,6 +839,8 @@ func (e *engine) workers() int {
 // forEachWorker runs fn(i) for i in [0, n), on the run's shared worker
 // pool when one exists and n is large enough to pay for the dispatch,
 // serially otherwise.
+//
+//cluseq:fanout
 func (e *engine) forEachWorker(n int, fn func(i int)) {
 	if e.pool == nil || n < 4 {
 		for i := 0; i < n; i++ {

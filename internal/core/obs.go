@@ -89,6 +89,8 @@ func (m *engineMetrics) enabled() bool { return m.iterations != nil }
 
 // observePhase records one phase duration; a tiny wrapper so call
 // sites read as one line.
+//
+//cluseq:hotpath
 func (m *engineMetrics) observePhase(h *obs.Histogram, start time.Time) {
 	h.ObserveSince(start)
 }

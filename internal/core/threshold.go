@@ -19,6 +19,8 @@ import (
 // collapse all background mass into one bucket; we histogram
 // log-similarities over a clamped range instead, which preserves the
 // valley the heuristic is after and keeps the bucket count meaningful.
+//
+//cluseq:deterministic
 func (e *engine) adjustThreshold(logSims []float64, starved bool) float64 {
 	if e.tStable && !starved {
 		return 0 // §4.6: t and t̂ converged; only starvation reopens it

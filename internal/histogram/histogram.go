@@ -35,6 +35,8 @@ func New(lo, hi float64, buckets int) (*Histogram, error) {
 }
 
 // Add records one observation.
+//
+//cluseq:hotpath
 func (h *Histogram) Add(v float64) {
 	h.buckets[h.bucketOf(v)]++
 	h.n++
@@ -46,6 +48,7 @@ func (h *Histogram) AddWeighted(v, w float64) {
 	h.n++
 }
 
+//cluseq:hotpath
 func (h *Histogram) bucketOf(v float64) int {
 	if math.IsNaN(v) || v < h.lo {
 		return 0

@@ -55,6 +55,8 @@ type Counter struct {
 
 // Add increments the counter by n (negative n is ignored: counters are
 // monotone by contract).
+//
+//cluseq:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil || n <= 0 {
 		return
@@ -63,6 +65,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one.
+//
+//cluseq:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 for a nil Counter).
@@ -80,6 +84,8 @@ type Gauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//cluseq:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -88,6 +94,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add shifts the gauge by delta.
+//
+//cluseq:hotpath
 func (g *Gauge) Add(delta float64) {
 	if g == nil {
 		return
@@ -121,20 +129,24 @@ type Histogram struct {
 }
 
 // Observe records one sample.
+//
+//cluseq:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.mu.Lock()
+	h.mu.Lock() //cluseq:allow hotpath: one short critical section guards the shared buckets; see package doc
 	h.h.Add(v)
 	h.count++
 	h.sum += v
-	h.mu.Unlock()
+	h.mu.Unlock() //cluseq:allow hotpath: pairs with the Lock above
 }
 
 // ObserveSince records the elapsed seconds since start.
+//
+//cluseq:hotpath
 func (h *Histogram) ObserveSince(start time.Time) {
-	h.Observe(time.Since(start).Seconds())
+	h.Observe(time.Since(start).Seconds()) //cluseq:allow hotpath: reading the monotonic clock is the method's purpose
 }
 
 // Count returns the number of samples recorded.

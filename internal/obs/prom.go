@@ -19,6 +19,9 @@ import (
 // It is safe to call concurrently with metric updates. A nil *Registry
 // writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	bw := bufio.NewWriter(w)
 	var lastFamily string
 	for _, m := range r.Snapshot() {

@@ -79,6 +79,8 @@ func (p *Pool) Instrument(reg *obs.Registry, prefix string) {
 // per item. For large n with cheap per-item work that RMW becomes
 // cross-core traffic on the shared counter's cacheline; use RunGrain to
 // amortize it over chunks.
+//
+//cluseq:hotpath
 func (p *Pool) Run(n int, fn func(i int)) {
 	p.RunGrain(n, 1, fn)
 }
@@ -93,11 +95,13 @@ func (p *Pool) Run(n int, fn func(i int)) {
 //
 // Every index in [0, n) is visited exactly once regardless of grain;
 // chunking only changes how indices are batched onto workers.
+//
+//cluseq:hotpath
 func (p *Pool) RunGrain(n, grain int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if p.runs != nil {
+	if p.runs != nil { //cluseq:allow hotpath: dispatch-metrics epilogue; uninstrumented pools pay one branch
 		start := time.Now()
 		defer func() {
 			p.runs.Inc()
@@ -113,7 +117,7 @@ func (p *Pool) RunGrain(n, grain int, fn func(i int)) {
 		grain = 1
 	}
 	var next atomic.Int64
-	work := func() {
+	work := func() { //cluseq:allow hotpath: one closure per Run amortizes over the whole batch
 		for {
 			lo := int(next.Add(int64(grain))) - grain
 			if lo >= n {
@@ -137,7 +141,7 @@ func (p *Pool) RunGrain(n, grain int, fn func(i int)) {
 	}
 	var wg sync.WaitGroup
 acquire:
-	for j := 0; j < helpers; j++ {
+	for j := 0; j < helpers; j++ { //cluseq:allow hotpath: opportunistic helper acquisition is the fan-out itself; never blocks
 		select {
 		case p.slots <- struct{}{}:
 			wg.Add(1)
@@ -150,6 +154,6 @@ acquire:
 			break acquire // saturated; the caller works alone
 		}
 	}
-	work()
-	wg.Wait()
+	work()    //cluseq:allow hotpath: the caller's own work lane; fn is the batch payload, dynamic by design
+	wg.Wait() //cluseq:allow hotpath: join barrier; Run's contract is completion of every index
 }

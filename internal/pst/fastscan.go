@@ -33,7 +33,7 @@ func (t *Tree) attachLinks(c, n *Node, s seq.Symbol) {
 		c.slink = t.root
 	} else {
 		c.first = n.first
-		c.slink = t.child(n.slink, s, false)
+		c.slink = t.lookupChild(n.slink, s)
 		if c.slink == nil {
 			// Cannot happen for left-to-right insertions, but hand-wired
 			// trees may create nodes out of order; degrade gracefully.
@@ -64,6 +64,8 @@ func (t *Tree) dropLinks(n *Node) {
 // auxiliary links. When the links are unavailable (pruned or deserialized
 // trees) or the estimator is not the plain longest-significant-suffix one,
 // it transparently falls back to Similarity.
+//
+//cluseq:hotpath
 func (t *Tree) SimilarityFast(symbols []seq.Symbol, background []float64) Similarity {
 	if !t.linksValid || t.cfg.Shrinkage > 0 {
 		return t.Similarity(symbols, background)
@@ -93,7 +95,7 @@ func (t *Tree) SimilarityFast(symbols []seq.Symbol, background []float64) Simila
 		if p <= 0 {
 			logX = math.Inf(-1)
 		} else {
-			logX = math.Log(p) - logBg[sym]
+			logX = math.Log(p) - logBg[sym] //cluseq:allow hotpath: one Log per symbol is inherent to the tree-shaped scan; the compiled snapshot folds it into a table
 		}
 		if logY+logX >= logX {
 			logY += logX
@@ -110,12 +112,12 @@ func (t *Tree) SimilarityFast(symbols []seq.Symbol, background []float64) Simila
 		// Advance the tracked context: sym becomes the most recent symbol.
 		u := cur
 		for {
-			if x := u.ext[sym]; x != nil {
+			if x := u.ext[sym]; x != nil { //cluseq:allow hotpath: the Weiner-link step reads the ext map; the compiled snapshot replaces it with a transition table
 				cur = x
 				break
 			}
 			if u.parent == nil { // root
-				if c := t.child(t.root, sym, false); c != nil {
+				if c := t.lookupChild(t.root, sym); c != nil {
 					cur = c
 				} else {
 					cur = t.root

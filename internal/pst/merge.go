@@ -29,7 +29,7 @@ func (t *Tree) Merge(other *Tree) error {
 			dst.next[s] += c
 		}
 		for sym, child := range src.children {
-			rec(t.child(dst, sym, true), child)
+			rec(t.ensureChild(dst, sym), child)
 		}
 	}
 	rec(t.root, other.root)
@@ -62,7 +62,7 @@ func (t *Tree) InsertCounts(context []seq.Symbol, next seq.Symbol, times int64) 
 		t.bump(n, next, times, true)
 	}
 	for d := 1; d <= len(context); d++ {
-		n = t.child(n, context[len(context)-d], true)
+		n = t.ensureChild(n, context[len(context)-d])
 		t.bump(n, next, times, hasNext)
 	}
 	if hasNext {

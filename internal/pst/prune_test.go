@@ -107,11 +107,11 @@ func TestPruneExpectedVectorKeepsSurprisingNodes(t *testing.T) {
 	root := tr.Root()
 	root.Count = 100
 	root.next[0], root.next[1] = 50, 50
-	na := tr.child(root, 0, true)
+	na := tr.ensureChild(root, 0)
 	na.Count, na.next[0], na.next[1] = 60, 30, 30
-	naa := tr.child(na, 0, true) // context "aa": same 50/50 split as "a"
+	naa := tr.ensureChild(na, 0) // context "aa": same 50/50 split as "a"
 	naa.Count, naa.next[0], naa.next[1] = 30, 15, 15
-	nba := tr.child(na, 1, true) // context "ba": extreme split
+	nba := tr.ensureChild(na, 1) // context "ba": extreme split
 	nba.Count, nba.next[0], nba.next[1] = 30, 29, 1
 
 	tr.Prune(3)
@@ -128,9 +128,9 @@ func TestPruneAutoEvictsInsignificantFirst(t *testing.T) {
 	root := tr.Root()
 	root.Count = 100
 	root.next[0], root.next[1] = 50, 50
-	big := tr.child(root, 0, true) // significant leaf
+	big := tr.ensureChild(root, 0) // significant leaf
 	big.Count, big.next[0] = 50, 25
-	small := tr.child(root, 1, true) // insignificant leaf
+	small := tr.ensureChild(root, 1) // insignificant leaf
 	small.Count, small.next[0] = 5, 2
 
 	tr.Prune(2)

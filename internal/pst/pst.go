@@ -285,14 +285,25 @@ func (t *Tree) Version() uint64 { return t.version }
 // TotalSymbols returns the total number of symbols inserted.
 func (t *Tree) TotalSymbols() int64 { return t.insertions }
 
-func (t *Tree) child(n *Node, s seq.Symbol, create bool) *Node {
-	if n.children != nil {
-		if c := n.children[s]; c != nil {
-			return c
-		}
-	}
-	if !create {
+// lookupChild returns n's child along edge symbol s, or nil. It is
+// read-only and therefore safe on the frozen trees of the parallel
+// scoring phase; every read-side walk (estimation, lookup, fast scan)
+// goes through it.
+//
+//cluseq:hotpath
+func (t *Tree) lookupChild(n *Node, s seq.Symbol) *Node {
+	if n.children == nil {
 		return nil
+	}
+	return n.children[s] //cluseq:allow hotpath: the tree-shaped fallback scan descends the child map; the compiled snapshot path replaces it with flat arrays
+}
+
+// ensureChild returns n's child along edge symbol s, creating it when
+// absent. It mutates the tree, so only the serial construction paths
+// (Insert, InsertCounts, Merge) may call it.
+func (t *Tree) ensureChild(n *Node, s seq.Symbol) *Node {
+	if c := t.lookupChild(n, s); c != nil {
+		return c
 	}
 	if n.children == nil {
 		n.children = make(map[seq.Symbol]*Node, 2)
@@ -331,7 +342,7 @@ func (t *Tree) Insert(segment []seq.Symbol) {
 		t.root.next[sym]++
 		n := t.root
 		for d := 1; d <= L && i-d >= 0; d++ {
-			n = t.child(n, segment[i-d], true)
+			n = t.ensureChild(n, segment[i-d])
 			n.Count++
 			n.next[sym]++
 		}
@@ -342,7 +353,7 @@ func (t *Tree) Insert(segment []seq.Symbol) {
 	// the number of occurrences of its label").
 	n := t.root
 	for d := 1; d <= L && l-d >= 0; d++ {
-		n = t.child(n, segment[l-d], true)
+		n = t.ensureChild(n, segment[l-d])
 		n.Count++
 	}
 	t.insertions += int64(l)
@@ -355,6 +366,8 @@ func (t *Tree) Insert(segment []seq.Symbol) {
 // EffectiveSignificance returns the significance threshold currently in
 // force: the configured c, or its data-scaled reduction when
 // AdaptiveSignificance is set.
+//
+//cluseq:hotpath
 func (t *Tree) EffectiveSignificance() int {
 	if !t.cfg.AdaptiveSignificance {
 		return t.cfg.Significance
@@ -371,6 +384,8 @@ func (t *Tree) EffectiveSignificance() int {
 
 // Significant reports whether node n meets the significance threshold.
 // The root is significant by definition once anything has been inserted.
+//
+//cluseq:hotpath
 func (t *Tree) Significant(n *Node) bool {
 	if n == t.root {
 		return true
@@ -383,11 +398,13 @@ func (t *Tree) Significant(n *Node) bool {
 // reversed context and stops where a further advance would reach a missing
 // or insignificant node. It never returns nil; with an empty tree it
 // returns the root.
+//
+//cluseq:hotpath
 func (t *Tree) PredictionNode(context []seq.Symbol) *Node {
 	n := t.root
 	L := t.cfg.MaxDepth
 	for d := 1; d <= len(context) && d <= L; d++ {
-		c := t.child(n, context[len(context)-d], false)
+		c := t.lookupChild(n, context[len(context)-d])
 		if c == nil || !t.Significant(c) {
 			break
 		}
@@ -397,6 +414,8 @@ func (t *Tree) PredictionNode(context []seq.Symbol) *Node {
 }
 
 // prob returns the raw empirical probability stored at node n for symbol s.
+//
+//cluseq:hotpath
 func (t *Tree) prob(n *Node, s seq.Symbol) float64 {
 	if n.Count == 0 {
 		return 0
@@ -414,6 +433,8 @@ func (t *Tree) Predict(context []seq.Symbol, s seq.Symbol) float64 {
 
 // estimate returns the raw (pre-adjustment) probability estimate for
 // P(s | context) under the configured estimation mode.
+//
+//cluseq:hotpath
 func (t *Tree) estimate(context []seq.Symbol, s seq.Symbol) float64 {
 	if t.cfg.Shrinkage > 0 {
 		return t.predictShrunk(context, s)
@@ -425,13 +446,15 @@ func (t *Tree) estimate(context []seq.Symbol, s seq.Symbol) float64 {
 // node's raw estimate with its parent's blended value using κ pseudo-
 // observations of the parent distribution. The blend is linear in the
 // probability vector, so tracking the single entry for s suffices.
+//
+//cluseq:hotpath
 func (t *Tree) predictShrunk(context []seq.Symbol, s seq.Symbol) float64 {
 	n := t.root
 	b := t.prob(n, s)
 	kappa := t.cfg.Shrinkage
 	L := t.cfg.MaxDepth
 	for d := 1; d <= len(context) && d <= L; d++ {
-		c := t.child(n, context[len(context)-d], false)
+		c := t.lookupChild(n, context[len(context)-d])
 		if c == nil {
 			break
 		}
@@ -442,6 +465,8 @@ func (t *Tree) predictShrunk(context []seq.Symbol, s seq.Symbol) float64 {
 }
 
 // adjust applies the §5.2 smoothing: P̂ = (1 − n·p_min)·P + p_min.
+//
+//cluseq:hotpath
 func (t *Tree) adjust(p float64) float64 {
 	if t.cfg.PMin <= 0 {
 		return p
@@ -455,7 +480,7 @@ func (t *Tree) adjust(p float64) float64 {
 func (t *Tree) Lookup(context []seq.Symbol) *Node {
 	n := t.root
 	for d := 1; d <= len(context); d++ {
-		n = t.child(n, context[len(context)-d], false)
+		n = t.lookupChild(n, context[len(context)-d])
 		if n == nil {
 			return nil
 		}

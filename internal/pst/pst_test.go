@@ -259,21 +259,21 @@ func TestPaperTable1(t *testing.T) {
 	root.next[0] = 450 // P(a) = 0.45
 	root.next[1] = 550 // P(b) = 0.55
 
-	nb := tr.child(root, 1, true) // context "b"
+	nb := tr.ensureChild(root, 1) // context "b"
 	nb.Count = 550
 	nb.next[0] = 320             // P(a|b)
 	nb.next[1] = 230             // P(b|b) = 0.41818… ≈ 0.418
-	nbb := tr.child(nb, 1, true) // context "bb"
+	nbb := tr.ensureChild(nb, 1) // context "bb"
 	nbb.Count = 230
 	nbb.next[0] = 200 // P(a|bb) = 0.8696 ≈ 0.87
 	nbb.next[1] = 30
 
 	// Context "ba" is reached root→a→b: child(child(root, 'a'), 'b').
-	na := tr.child(root, 0, true) // context "a"
+	na := tr.ensureChild(root, 0) // context "a"
 	na.Count = 450
 	na.next[0] = 250
 	na.next[1] = 200
-	nBA := tr.child(na, 1, true) // context "ba"
+	nBA := tr.ensureChild(na, 1) // context "ba"
 	nBA.Count = 320
 	nBA.next[0] = 130 // P(a|ba) = 0.40625 ≈ 0.406
 	nBA.next[1] = 190 // P(b|ba) = 0.59375 ≈ 0.594

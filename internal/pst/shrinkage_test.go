@@ -17,7 +17,7 @@ func TestPredictShrunkBlendsTowardParent(t *testing.T) {
 	root := tr.Root()
 	root.Count = 100
 	root.next[0], root.next[1] = 50, 50
-	na := tr.child(root, 0, true)
+	na := tr.ensureChild(root, 0)
 	na.Count = 4
 	na.next[0] = 4
 
@@ -43,7 +43,7 @@ func TestPredictShrunkDeepCountsDominate(t *testing.T) {
 	root := tr.Root()
 	root.Count = 1000
 	root.next[0], root.next[1] = 500, 500
-	na := tr.child(root, 0, true)
+	na := tr.ensureChild(root, 0)
 	na.Count = 10000
 	na.next[1] = 10000 // after "a", always b
 	got := tr.Predict([]seq.Symbol{0}, 1)

@@ -50,9 +50,11 @@ func (s Similarity) Exceeds(t float64) bool {
 //
 // run in the log domain; a zero probability (possible only when PMin is
 // zero) contributes −Inf and naturally restarts the running segment.
+//
+//cluseq:hotpath
 func (t *Tree) Similarity(symbols []seq.Symbol, background []float64) Similarity {
 	if len(background) != t.cfg.AlphabetSize {
-		panic(fmt.Sprintf("pst: background distribution has %d entries, alphabet has %d", len(background), t.cfg.AlphabetSize))
+		panic(fmt.Sprintf("pst: background distribution has %d entries, alphabet has %d", len(background), t.cfg.AlphabetSize)) //cluseq:allow hotpath: contract violation; dying loudly beats scoring garbage
 	}
 	if len(symbols) == 0 {
 		return Similarity{LogSim: math.Inf(-1)}
@@ -78,7 +80,7 @@ func (t *Tree) Similarity(symbols []seq.Symbol, background []float64) Similarity
 		if p <= 0 {
 			logX = math.Inf(-1)
 		} else {
-			logX = math.Log(p) - logBg[sym]
+			logX = math.Log(p) - logBg[sym] //cluseq:allow hotpath: one Log per symbol is inherent to the tree-shaped scan; the compiled snapshot folds it into a table
 		}
 
 		if logY+logX >= logX { // extending beats restarting (logY >= 0)
@@ -113,10 +115,19 @@ type logBgMemo struct {
 // serialized the engine's parallel scoring phase. Concurrent misses may
 // each compute the table once; ln is deterministic, so whichever
 // publication wins is identical.
+//
+//cluseq:hotpath
 func (t *Tree) logBackground(background []float64) []float64 {
 	if m := t.logBg.Load(); m != nil && len(m.src) == len(background) && &m.src[0] == &background[0] {
 		return m.logBg
 	}
+	return t.buildLogBg(background) //cluseq:allow hotpath: cold miss; builds and publishes the memo once per (tree, background) pair
+}
+
+// buildLogBg computes and publishes the ln(background) memo — the cold
+// side of logBackground, kept out of the annotated hot path because it
+// allocates by design.
+func (t *Tree) buildLogBg(background []float64) []float64 {
 	logBg := make([]float64, len(background))
 	for i, v := range background {
 		logBg[i] = math.Log(v)
@@ -126,6 +137,8 @@ func (t *Tree) logBackground(background []float64) []float64 {
 }
 
 // SimilaritySeq is Similarity applied to a seq.Sequence.
+//
+//cluseq:hotpath
 func (t *Tree) SimilaritySeq(s *seq.Sequence, background []float64) Similarity {
 	return t.Similarity(s.Symbols, background)
 }

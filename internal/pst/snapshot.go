@@ -339,6 +339,8 @@ func (s *Snapshot) Valid(t *Tree) bool {
 
 // child returns the compiled index of cur's child along edge symbol sym,
 // or −1 — the descent-mode equivalent of the tree's child-map lookup.
+//
+//cluseq:hotpath
 func (s *Snapshot) child(cur int32, sym seq.Symbol) int32 {
 	lo, hi := s.childStart[cur], s.childStart[cur+1]
 	for lo < hi {
@@ -360,6 +362,8 @@ func (s *Snapshot) child(cur int32, sym seq.Symbol) int32 {
 // position's deepest matching node, and the precomputed rows supply the
 // adjusted log ratio. O(l·L) like the tree scan it mirrors, but free of
 // pointer chasing, locks, and logarithms.
+//
+//cluseq:hotpath
 func (s *Snapshot) similarityDescend(symbols []seq.Symbol) Similarity {
 	best := Similarity{LogSim: math.Inf(-1)}
 	logY := math.Inf(-1)
@@ -393,6 +397,8 @@ func (s *Snapshot) similarityDescend(symbols []seq.Symbol) Similarity {
 // step advances the sparse transition function: find the sym edge on the
 // deepest ancestor-or-self that has one, else land at the root (which
 // either steps to its sym child via its own edge list or stays).
+//
+//cluseq:hotpath
 func (s *Snapshot) step(cur int32, sym seq.Symbol) int32 {
 	for {
 		lo, hi := s.edgeStart[cur], s.edgeStart[cur+1]
@@ -419,6 +425,8 @@ func (s *Snapshot) step(cur int32, sym seq.Symbol) int32 {
 // against the background distribution the snapshot was compiled with.
 // It performs no locking and no logarithms; each scored symbol costs
 // one table load for the score and one transition step.
+//
+//cluseq:hotpath
 func (s *Snapshot) Similarity(symbols []seq.Symbol) Similarity {
 	if s.delegate {
 		return s.tree.Similarity(symbols, s.background)
@@ -459,6 +467,8 @@ func (s *Snapshot) Similarity(symbols []seq.Symbol) Similarity {
 }
 
 // SimilaritySeq is Similarity applied to a seq.Sequence.
+//
+//cluseq:hotpath
 func (s *Snapshot) SimilaritySeq(sq *seq.Sequence) Similarity {
 	return s.Similarity(sq.Symbols)
 }

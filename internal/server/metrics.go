@@ -40,6 +40,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 	}
 }
 
+//cluseq:hotpath
 func (m *metrics) observeLatency(d time.Duration) {
 	m.latency.Observe(float64(d) / float64(time.Millisecond))
 }
