@@ -37,7 +37,33 @@ func (h pruneHeap) Less(i, j int) bool {
 	if h[i].key1 != h[j].key1 {
 		return h[i].key1 < h[j].key1
 	}
-	return h[i].key2 < h[j].key2
+	if h[i].key2 != h[j].key2 {
+		return h[i].key2 < h[j].key2
+	}
+	// Total-order tie-break on the node's label path. Key ties are common
+	// (symmetric counts, equal depths), and without a deterministic final
+	// comparison the eviction choice among tied leaves depends on heap
+	// insertion order — i.e. on map iteration history — so a capped tree's
+	// surviving node set, and every similarity scored against it, would
+	// vary run to run.
+	return pathCompare(h[i].n, h[j].n) < 0
+}
+
+// pathCompare orders nodes by (depth, label path read root-to-leaf):
+// shallower first, then lexicographic on edge symbols. It returns 0 only
+// for the identical node, so it is a total order over any one tree.
+// Recursion is bounded by the tree's depth cap.
+func pathCompare(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	if a.depth != b.depth {
+		return a.depth - b.depth
+	}
+	if c := pathCompare(a.parent, b.parent); c != 0 {
+		return c
+	}
+	return int(a.symbol) - int(b.symbol)
 }
 func (h pruneHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *pruneHeap) Push(x any)   { *h = append(*h, x.(pruneItem)) }

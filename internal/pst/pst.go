@@ -488,18 +488,36 @@ func (t *Tree) Lookup(context []seq.Symbol) *Node {
 	return n
 }
 
-// Walk visits every node in depth-first pre-order. The visit function
-// returns false to stop early.
+// Walk visits every node in depth-first pre-order, siblings in ascending
+// edge-symbol order, so the traversal is deterministic for a given tree
+// state. The visit function returns false to stop early.
+//
+// Determinism here matters beyond tidy output: pruneTo seeds its eviction
+// heap through Walk, and a map-order traversal fed equally-keyed
+// candidates to the heap in a different order on every run, making the
+// evicted set — and every similarity computed against the pruned tree —
+// run-dependent whenever the memory cap fired.
 func (t *Tree) Walk(visit func(*Node) bool) {
 	stack := []*Node{t.root}
+	var syms []seq.Symbol
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if !visit(n) {
 			return
 		}
-		for _, c := range n.children {
-			stack = append(stack, c)
+		syms = syms[:0]
+		for s := range n.children {
+			syms = append(syms, s)
+		}
+		for j := 1; j < len(syms); j++ { // insertion sort: child lists are short
+			for k := j; k > 0 && syms[k] < syms[k-1]; k-- {
+				syms[k], syms[k-1] = syms[k-1], syms[k]
+			}
+		}
+		// Push descending so the stack pops children in ascending order.
+		for j := len(syms) - 1; j >= 0; j-- {
+			stack = append(stack, n.children[syms[j]])
 		}
 	}
 }
