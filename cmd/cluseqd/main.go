@@ -60,6 +60,7 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 		drain     = fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight requests")
 		verbose   = fs.Bool("v", false, "log per-request refusals and reloads")
 		withPprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints leak internals)")
+		slow      = fs.Duration("slow-classify", 0, "inject an artificial delay into every classify request (load-harness testing aid; never set in production)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,10 +84,14 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 	logf("cluseqd: %d models loaded from %s", reg.Len(), *models)
 
 	scfg := cluseq.ServerConfig{
-		Registry: reg,
-		MaxBatch: *maxBatch,
-		Workers:  *workers,
-		Timeout:  *timeout,
+		Registry:      reg,
+		MaxBatch:      *maxBatch,
+		Workers:       *workers,
+		Timeout:       *timeout,
+		ClassifyDelay: *slow,
+	}
+	if *slow > 0 {
+		logf("cluseqd: WARNING: -slow-classify %v injects artificial latency (testing aid)", *slow)
 	}
 	if *verbose {
 		scfg.Logf = logf

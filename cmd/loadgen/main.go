@@ -1,0 +1,157 @@
+// Command loadgen replays a committed load scenario against a running
+// cluseqd and emits a JSON result with throughput, latency quantiles,
+// error rates, and per-route breakdowns. With -baseline it compares the
+// run against a committed result and exits non-zero on regression — the
+// core of the CI loadperf gate (see benchmarks/README.md).
+//
+// Usage:
+//
+//	loadgen -target URL -scenario FILE [-out FILE] [-baseline FILE]
+//	        [-workers N] [-validate] [-wait-ready DUR] [-v]
+//	        [-min-throughput-ratio R] [-max-p50-ratio R] [-max-p99-ratio R]
+//	        [-p50-floor-ms MS] [-p99-floor-ms MS] [-max-error-rate R]
+//
+// The generator is open loop: arrivals follow the scenario's seeded
+// Poisson schedule no matter how the target responds, so a slowdown
+// shows up as latency and queueing, never as a quietly reduced offered
+// rate. The same (scenario, seed) pair always offers the identical
+// request sequence, which is what makes committed baselines comparable.
+//
+// Exit codes:
+//
+//	0  run completed; no baseline given, or verdict pass/improve
+//	1  run or I/O error
+//	2  usage error
+//	3  verdict regress (a tolerance check failed against the baseline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"cluseq/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus process concerns, so tests can drive the CLI
+// in-process against httptest servers.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target    = fs.String("target", "", "base URL of the cluseqd under test, e.g. http://127.0.0.1:8080 (required)")
+		scenario  = fs.String("scenario", "", "scenario JSON file (required; see benchmarks/scenarios/)")
+		out       = fs.String("out", "", "write the run's result JSON here")
+		baseline  = fs.String("baseline", "", "committed baseline result to compare against")
+		workers   = fs.Int("workers", 0, "override the scenario's max_inflight worker count")
+		validate  = fs.Bool("validate", false, "decode classify responses and check result counts match batch sizes")
+		waitReady = fs.Duration("wait-ready", 0, "poll the target's /readyz for up to this long before starting")
+		verbose   = fs.Bool("v", false, "log progress to stderr")
+
+		minThroughput = fs.Float64("min-throughput-ratio", 0, "fail below baseline×ratio (0 = default 0.7)")
+		maxP50        = fs.Float64("max-p50-ratio", 0, "fail above max(baseline×ratio, p50 floor) (0 = default 6)")
+		maxP99        = fs.Float64("max-p99-ratio", 0, "fail above max(baseline×ratio, p99 floor) (0 = default 4)")
+		p50Floor      = fs.Float64("p50-floor-ms", 0, "noise floor for the p50 gate (0 = default 15)")
+		p99Floor      = fs.Float64("p99-floor-ms", 0, "noise floor for the p99 gate (0 = default 25)")
+		maxErrRate    = fs.Float64("max-error-rate", 0, "absolute error-rate bound (0 = default 0.01)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *target == "" || *scenario == "" || fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "usage: loadgen -target URL -scenario FILE [flags]")
+		return 2
+	}
+
+	sc, err := loadgen.ReadScenario(*scenario)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+
+	if *waitReady > 0 {
+		if err := waitForReady(*target, *waitReady); err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 1
+		}
+	}
+
+	r := &loadgen.Runner{
+		BaseURL:      *target,
+		Workers:      *workers,
+		Validate:     *validate,
+		ScrapeTarget: true,
+	}
+	if *verbose {
+		r.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	startedAt := time.Now().UTC().Format(time.RFC3339)
+	res, err := r.Run(sc)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+	res.StartedAt = startedAt
+
+	fmt.Fprintf(stdout, "scenario %s: %d requests, %.1f rps, p50 %.2fms p99 %.2fms, error rate %.4f, %d late\n",
+		res.Scenario, res.RequestsSent, res.ThroughputRPS,
+		res.Overall.P50Ms, res.Overall.P99Ms, res.ErrorRate, res.LateDispatches)
+
+	if *out != "" {
+		if err := loadgen.WriteResult(*out, res); err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 1
+		}
+	}
+
+	if *baseline == "" {
+		return 0
+	}
+	base, err := loadgen.ReadResult(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+	cmp := loadgen.Compare(base, res, loadgen.Tolerance{
+		MinThroughputRatio: *minThroughput,
+		MaxP50Ratio:        *maxP50,
+		MaxP99Ratio:        *maxP99,
+		P50FloorMs:         *p50Floor,
+		P99FloorMs:         *p99Floor,
+		MaxErrorRate:       *maxErrRate,
+	})
+	fmt.Fprint(stdout, cmp)
+	if cmp.Verdict == loadgen.VerdictRegress {
+		return 3
+	}
+	return 0
+}
+
+// waitForReady polls GET /readyz until it answers 200 or the deadline
+// passes, so CI can start the daemon and the generator back to back.
+func waitForReady(target string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(target + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("target %s not ready after %v", target, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -66,6 +66,40 @@ func (h *Histogram) bucketOf(v float64) int {
 // Count returns the total number of observations recorded.
 func (h *Histogram) Count() int { return h.n }
 
+// Clone returns an independent deep copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		lo:      h.lo,
+		hi:      h.hi,
+		buckets: append([]float64(nil), h.buckets...),
+		n:       h.n,
+	}
+}
+
+// Merge folds o's observations into h: bucket weights add elementwise
+// and counts add. Because both histograms discretized their samples on
+// the same grid, the merged histogram is exactly the histogram that
+// would have resulted from feeding every sample of both into one — so
+// per-worker latency histograms can be combined without re-observing,
+// and Quantile on the merge equals Quantile on the combined stream (to
+// bucket resolution). The domains must match exactly; merging
+// histograms with different [lo, hi) or bucket counts is an error
+// because their bucket grids do not align. o is left unchanged.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if h.lo != o.lo || h.hi != o.hi || len(h.buckets) != len(o.buckets) {
+		return fmt.Errorf("histogram: cannot merge [%g,%g)/%d buckets into [%g,%g)/%d buckets",
+			o.lo, o.hi, len(o.buckets), h.lo, h.hi, len(h.buckets))
+	}
+	for i, w := range o.buckets {
+		h.buckets[i] += w
+	}
+	h.n += o.n
+	return nil
+}
+
 // Buckets returns a copy of the bucket weights.
 func (h *Histogram) Buckets() []float64 { return append([]float64(nil), h.buckets...) }
 

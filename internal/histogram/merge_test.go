@@ -1,0 +1,109 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneIndependent(t *testing.T) {
+	h, _ := New(0, 10, 10)
+	h.Add(1)
+	h.AddWeighted(5, 2.5)
+	c := h.Clone()
+	if !reflect.DeepEqual(h.Buckets(), c.Buckets()) || h.Count() != c.Count() {
+		t.Fatalf("clone differs: %v/%d vs %v/%d", h.Buckets(), h.Count(), c.Buckets(), c.Count())
+	}
+	c.Add(9)
+	if h.Count() != 2 {
+		t.Fatalf("mutating the clone changed the original: count %d", h.Count())
+	}
+	if c.Count() != 3 {
+		t.Fatalf("clone count = %d, want 3", c.Count())
+	}
+}
+
+func TestMergeDomainMismatch(t *testing.T) {
+	h, _ := New(0, 10, 10)
+	for _, o := range []*Histogram{
+		func() *Histogram { x, _ := New(0, 20, 10); return x }(), // hi differs
+		func() *Histogram { x, _ := New(1, 10, 10); return x }(), // lo differs
+		func() *Histogram { x, _ := New(0, 10, 20); return x }(), // buckets differ
+	} {
+		if err := h.Merge(o); err == nil {
+			t.Fatalf("Merge should reject mismatched domain %s", o)
+		}
+	}
+	if err := h.Merge(nil); err != nil {
+		t.Fatalf("Merge(nil) should be a no-op, got %v", err)
+	}
+}
+
+func TestMergeAddsWeightsAndCounts(t *testing.T) {
+	a, _ := New(0, 10, 10)
+	b, _ := New(0, 10, 10)
+	a.Add(1)
+	a.AddWeighted(3, 2)
+	b.Add(3)
+	b.Add(9.5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Buckets()
+	if got[1] != 1 || got[3] != 3 || got[9] != 1 {
+		t.Fatalf("merged buckets = %v", got)
+	}
+	if a.Count() != 4 {
+		t.Fatalf("merged count = %d, want 4", a.Count())
+	}
+	// b is unchanged.
+	if b.Count() != 2 || b.Buckets()[3] != 1 {
+		t.Fatalf("merge mutated its argument: %v/%d", b.Buckets(), b.Count())
+	}
+}
+
+// TestMergeEqualsCombined is the property loadgen relies on: splitting a
+// sample stream across k per-worker histograms and merging them yields
+// exactly the histogram that observed the whole stream — identical
+// buckets, count, and therefore identical quantiles at every q.
+func TestMergeEqualsCombined(t *testing.T) {
+	f := func(seed int64, raw []float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(5)
+		parts := make([]*Histogram, k)
+		for i := range parts {
+			parts[i], _ = New(0, 1, 20)
+		}
+		combined, _ := New(0, 1, 20)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			v = math.Mod(math.Abs(v), 1)
+			parts[rng.Intn(k)].Add(v)
+			combined.Add(v)
+		}
+		merged, _ := New(0, 1, 20)
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				return false
+			}
+		}
+		if !reflect.DeepEqual(merged.Buckets(), combined.Buckets()) || merged.Count() != combined.Count() {
+			return false
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			mv, mok := merged.Quantile(q)
+			cv, cok := combined.Quantile(q)
+			if mok != cok || mv != cv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

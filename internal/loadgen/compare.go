@@ -1,0 +1,165 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tolerance parameterizes the regression comparator. Ratios bound how
+// much worse a candidate may be than the baseline; floors keep tiny
+// baselines from turning scheduler noise into failures (a 0.4 ms
+// baseline p99 must not fail CI at 1.7 ms). A zero value for any field
+// selects its default.
+type Tolerance struct {
+	// MinThroughputRatio fails when candidate throughput drops below
+	// baseline × ratio. Default 0.7.
+	MinThroughputRatio float64 `json:"min_throughput_ratio,omitempty"`
+	// MaxP50Ratio and MaxP99Ratio fail when the candidate quantile
+	// exceeds max(baseline × ratio, floor). Defaults 6 and 4.
+	MaxP50Ratio float64 `json:"max_p50_ratio,omitempty"`
+	MaxP99Ratio float64 `json:"max_p99_ratio,omitempty"`
+	// P50FloorMs and P99FloorMs are the noise floors for the latency
+	// gates. Defaults 15 ms and 25 ms.
+	P50FloorMs float64 `json:"p50_floor_ms,omitempty"`
+	P99FloorMs float64 `json:"p99_floor_ms,omitempty"`
+	// MaxErrorRate is an absolute bound on the candidate's error rate,
+	// checked regardless of the baseline's. Default 0.01.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (t Tolerance) withDefaults() Tolerance {
+	if t.MinThroughputRatio == 0 {
+		t.MinThroughputRatio = 0.7
+	}
+	if t.MaxP50Ratio == 0 {
+		t.MaxP50Ratio = 6
+	}
+	if t.MaxP99Ratio == 0 {
+		t.MaxP99Ratio = 4
+	}
+	if t.P50FloorMs == 0 {
+		t.P50FloorMs = 15
+	}
+	if t.P99FloorMs == 0 {
+		t.P99FloorMs = 25
+	}
+	if t.MaxErrorRate == 0 {
+		t.MaxErrorRate = 0.01
+	}
+	return t
+}
+
+// Verdict is the comparator's overall call.
+type Verdict string
+
+const (
+	// VerdictPass: every check within tolerance.
+	VerdictPass Verdict = "pass"
+	// VerdictRegress: at least one check out of tolerance.
+	VerdictRegress Verdict = "regress"
+	// VerdictImprove: every check passes and the candidate beats the
+	// baseline by a margin that would survive re-baselining (see
+	// Compare); a hint to refresh the committed baseline.
+	VerdictImprove Verdict = "improve"
+	// VerdictMissingBaseline: nothing to compare against; the caller
+	// decides whether that fails the build (CI) or just records the
+	// first baseline (bootstrap).
+	VerdictMissingBaseline Verdict = "missing-baseline"
+)
+
+// Check is one comparator criterion's outcome.
+type Check struct {
+	Name      string  `json:"name"`
+	Baseline  float64 `json:"baseline"`
+	Candidate float64 `json:"candidate"`
+	// Limit is the effective gate after ratios and floors.
+	Limit float64 `json:"limit"`
+	Pass  bool    `json:"pass"`
+}
+
+// Comparison is the comparator's full report.
+type Comparison struct {
+	Verdict Verdict `json:"verdict"`
+	Checks  []Check `json:"checks,omitempty"`
+}
+
+// String renders the report as the fixed-width table the CLI prints.
+func (c Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verdict: %s\n", c.Verdict)
+	for _, ch := range c.Checks {
+		status := "PASS"
+		if !ch.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-18s %s  baseline=%.3f candidate=%.3f limit=%.3f\n",
+			ch.Name, status, ch.Baseline, ch.Candidate, ch.Limit)
+	}
+	return b.String()
+}
+
+// Compare gates a candidate run against a committed baseline:
+//
+//   - throughput must stay above baseline × MinThroughputRatio;
+//   - overall p50/p99 must stay below max(baseline × ratio, floor);
+//   - the candidate's error rate must stay below MaxErrorRate.
+//
+// A nil baseline yields VerdictMissingBaseline with no checks. When
+// every check passes and the candidate's p99 is at or below half the
+// baseline's (with the baseline above its noise floor, so the gain is
+// real) or throughput improved ≥ 1.5×, the verdict is VerdictImprove —
+// the cue to re-run the baseline procedure in benchmarks/README.md.
+func Compare(baseline, candidate *Result, tol Tolerance) Comparison {
+	if baseline == nil {
+		return Comparison{Verdict: VerdictMissingBaseline}
+	}
+	tol = tol.withDefaults()
+	checks := []Check{
+		{
+			Name:      "throughput_rps",
+			Baseline:  baseline.ThroughputRPS,
+			Candidate: candidate.ThroughputRPS,
+			Limit:     baseline.ThroughputRPS * tol.MinThroughputRatio,
+			Pass:      candidate.ThroughputRPS >= baseline.ThroughputRPS*tol.MinThroughputRatio,
+		},
+		latencyCheck("p50_ms", baseline.Overall.P50Ms, candidate.Overall.P50Ms, tol.MaxP50Ratio, tol.P50FloorMs),
+		latencyCheck("p99_ms", baseline.Overall.P99Ms, candidate.Overall.P99Ms, tol.MaxP99Ratio, tol.P99FloorMs),
+		{
+			Name:      "error_rate",
+			Baseline:  baseline.ErrorRate,
+			Candidate: candidate.ErrorRate,
+			Limit:     tol.MaxErrorRate,
+			Pass:      candidate.ErrorRate <= tol.MaxErrorRate,
+		},
+	}
+	verdict := VerdictPass
+	for _, ch := range checks {
+		if !ch.Pass {
+			verdict = VerdictRegress
+		}
+	}
+	if verdict == VerdictPass {
+		fasterP99 := baseline.Overall.P99Ms > tol.P99FloorMs &&
+			candidate.Overall.P99Ms <= baseline.Overall.P99Ms/2
+		moreThroughput := candidate.ThroughputRPS >= baseline.ThroughputRPS*1.5
+		if fasterP99 || moreThroughput {
+			verdict = VerdictImprove
+		}
+	}
+	return Comparison{Verdict: verdict, Checks: checks}
+}
+
+// latencyCheck builds one quantile gate: candidate ≤ max(baseline ×
+// ratio, floor).
+func latencyCheck(name string, base, cand, ratio, floorMs float64) Check {
+	limit := math.Max(base*ratio, floorMs)
+	return Check{
+		Name:      name,
+		Baseline:  base,
+		Candidate: cand,
+		Limit:     limit,
+		Pass:      cand <= limit,
+	}
+}

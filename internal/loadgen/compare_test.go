@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkResult builds a result with the fields the comparator reads.
+func mkResult(throughput, p50, p99, errRate float64) *Result {
+	return &Result{
+		ThroughputRPS: throughput,
+		ErrorRate:     errRate,
+		Overall:       RouteStats{P50Ms: p50, P99Ms: p99},
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	base := mkResult(150, 2, 8, 0)
+	cases := []struct {
+		name      string
+		baseline  *Result
+		candidate *Result
+		tol       Tolerance
+		want      Verdict
+		failing   string // name of a check that must fail ("" = none)
+	}{
+		{
+			name:      "identical run passes",
+			baseline:  base,
+			candidate: mkResult(150, 2, 8, 0),
+			want:      VerdictPass,
+		},
+		{
+			name:      "missing baseline",
+			baseline:  nil,
+			candidate: mkResult(150, 2, 8, 0),
+			want:      VerdictMissingBaseline,
+		},
+		{
+			name:      "throughput collapse regresses",
+			baseline:  base,
+			candidate: mkResult(90, 2, 8, 0), // < 150 × 0.7
+			want:      VerdictRegress,
+			failing:   "throughput_rps",
+		},
+		{
+			name:      "p99 blowup regresses",
+			baseline:  base,
+			candidate: mkResult(150, 2, 80, 0), // > max(8 × 4, 25)
+			want:      VerdictRegress,
+			failing:   "p99_ms",
+		},
+		{
+			name:      "error rate regresses",
+			baseline:  base,
+			candidate: mkResult(150, 2, 8, 0.05),
+			want:      VerdictRegress,
+			failing:   "error_rate",
+		},
+		{
+			name:     "noise floor absorbs small-baseline jitter",
+			baseline: base,
+			// 4× the baseline p99 but still under the 25 ms floor: the
+			// floor exists exactly so this does not fail CI.
+			candidate: mkResult(150, 6, 24, 0),
+			want:      VerdictPass,
+		},
+		{
+			name:      "custom floor tightens the gate",
+			baseline:  base,
+			candidate: mkResult(150, 2, 24, 0),
+			tol:       Tolerance{P99FloorMs: 10}, // gate = max(8 × 4, 10) = 32 → still passes
+			want:      VerdictPass,
+		},
+		{
+			name:      "big p99 win improves",
+			baseline:  mkResult(150, 20, 80, 0),
+			candidate: mkResult(150, 20, 30, 0),
+			want:      VerdictImprove,
+		},
+		{
+			name:      "throughput win improves",
+			baseline:  base,
+			candidate: mkResult(300, 2, 8, 0),
+			want:      VerdictImprove,
+		},
+		{
+			name:      "sub-floor p99 halving is not an improvement",
+			baseline:  base, // p99 8 ms is below the 25 ms floor: noise, not a win
+			candidate: mkResult(150, 2, 3, 0),
+			want:      VerdictPass,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmp := Compare(tc.baseline, tc.candidate, tc.tol)
+			if cmp.Verdict != tc.want {
+				t.Fatalf("verdict = %s, want %s\n%s", cmp.Verdict, tc.want, cmp)
+			}
+			if tc.want == VerdictMissingBaseline {
+				if len(cmp.Checks) != 0 {
+					t.Fatalf("missing baseline should carry no checks: %+v", cmp.Checks)
+				}
+				return
+			}
+			if len(cmp.Checks) != 4 {
+				t.Fatalf("got %d checks, want 4", len(cmp.Checks))
+			}
+			for _, ch := range cmp.Checks {
+				switch {
+				case ch.Name == tc.failing && ch.Pass:
+					t.Errorf("check %s should fail\n%s", ch.Name, cmp)
+				case ch.Name != tc.failing && !ch.Pass:
+					t.Errorf("check %s should pass\n%s", ch.Name, cmp)
+				}
+			}
+		})
+	}
+}
+
+func TestComparisonString(t *testing.T) {
+	cmp := Compare(mkResult(150, 2, 8, 0), mkResult(90, 2, 8, 0), Tolerance{})
+	s := cmp.String()
+	for _, want := range []string{"verdict: regress", "throughput_rps", "FAIL", "p99_ms", "PASS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestToleranceDefaults(t *testing.T) {
+	tol := Tolerance{}.withDefaults()
+	if tol.MinThroughputRatio != 0.7 || tol.MaxP99Ratio != 4 || tol.P99FloorMs != 25 || tol.MaxErrorRate != 0.01 {
+		t.Fatalf("defaults = %+v", tol)
+	}
+	// Explicit values survive.
+	tol = Tolerance{MaxP99Ratio: 2, P99FloorMs: 1}.withDefaults()
+	if tol.MaxP99Ratio != 2 || tol.P99FloorMs != 1 {
+		t.Fatalf("explicit values overwritten: %+v", tol)
+	}
+}

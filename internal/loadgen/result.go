@@ -1,0 +1,251 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cluseq/internal/histogram"
+	"cluseq/internal/obs"
+)
+
+// RouteStats summarizes one route's (or the overall) latency
+// distribution and counts.
+type RouteStats struct {
+	// Requests counts responses received (any HTTP status); transport
+	// errors never produce a latency sample and are excluded.
+	Requests int64 `json:"requests"`
+	// Errors counts responses outside 2xx plus validation failures.
+	Errors int64 `json:"errors"`
+	// Latency quantiles in milliseconds, at histogram resolution.
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// ServerStats is the target's own view of the run, scraped from its
+// GET /metrics after the last response: the per-route request counters
+// and sequence totals from the daemon's obs registry.
+type ServerStats struct {
+	Requests       map[string]int64 `json:"requests,omitempty"`
+	SequencesTotal int64            `json:"sequences_total,omitempty"`
+}
+
+// HostInfo records where a result was measured; baselines are only
+// comparable within similar host classes (see benchmarks/README.md).
+type HostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Result is the JSON document one scenario run emits. It is
+// deterministic in shape (struct field order, sorted maps) so committed
+// baselines diff cleanly; only the measured values vary run to run.
+type Result struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	// StartedAt is stamped by the CLI (RFC 3339); the library leaves it
+	// empty so library runs stay reproducible byte for byte.
+	StartedAt string   `json:"started_at,omitempty"`
+	Host      HostInfo `json:"host"`
+
+	// RequestsSent is the full schedule length — every request the
+	// open-loop process offered.
+	RequestsSent int `json:"requests_sent"`
+	// WallSeconds spans first dispatch to last response.
+	WallSeconds float64 `json:"wall_seconds"`
+	// ThroughputRPS is completed responses per wall-clock second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// ErrorRate is errored requests (transport, non-2xx, validation)
+	// over RequestsSent.
+	ErrorRate float64 `json:"error_rate"`
+	// Errors breaks failures down by class: "net", "4xx", "5xx",
+	// "bad_response".
+	Errors map[string]int64 `json:"errors,omitempty"`
+
+	// LateDispatches counts requests that left more than 1 ms after
+	// their scheduled arrival (worker-pool saturation); MaxLateMs is
+	// the worst lag. Sustained lateness means the generator — not the
+	// server — was the bottleneck, and the scenario's MaxInflight or
+	// the host is undersized for the offered rate.
+	LateDispatches int64   `json:"late_dispatches"`
+	MaxLateMs      float64 `json:"max_late_ms"`
+
+	// Routes breaks the run down by traffic class: "single", "batch",
+	// "reload". Overall merges the three latency histograms.
+	Routes  map[string]RouteStats `json:"routes"`
+	Overall RouteStats            `json:"overall"`
+
+	// Server is the target's own counters (nil when unscraped).
+	Server *ServerStats `json:"server,omitempty"`
+}
+
+// lateThresholdMs separates scheduling jitter from real dispatch lag.
+const lateThresholdMs = 1.0
+
+// reduce folds per-request samples into a Result. The samples are
+// recorded into an obs registry first — counters and latency
+// histograms per route, the same series shapes the daemon itself
+// exports — and the result's route breakdown is then sourced from
+// those series, so the generator's and the server's metrics pipelines
+// stay structurally comparable.
+// routeSeries bundles one route's obs handles; registered once per
+// route so every record and readback shares the same handle.
+type routeSeries struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+func reduce(sc *Scenario, schedule []Request, samples []sample, wall time.Duration) *Result {
+	reg := obs.NewRegistry()
+	series := make(map[string]routeSeries, 3)
+	for _, kind := range []Kind{KindSingle, KindBatch, KindReload} {
+		route := kind.Route()
+		series[route] = routeSeries{
+			requests: reg.Counter("loadgen_requests_total", "route", route),
+			errors:   reg.Counter("loadgen_errors_total", "route", route),
+			latency:  reg.Histogram("loadgen_latency_ms", 0, sc.HistMaxMs, sc.HistBuckets, "route", route),
+		}
+	}
+	maxMs := map[string]float64{}
+	res := &Result{
+		Scenario: sc.Name,
+		Seed:     sc.Seed,
+		Host: HostInfo{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		RequestsSent: len(schedule),
+		WallSeconds:  wall.Seconds(),
+		Errors:       map[string]int64{},
+		Routes:       map[string]RouteStats{},
+	}
+
+	for i, s := range samples {
+		route := schedule[i].Kind.Route()
+		rs := series[route]
+		rs.requests.Inc()
+		switch {
+		case s.status == 0:
+			res.Errors["net"]++
+			rs.errors.Inc()
+		case s.status >= 500:
+			res.Errors["5xx"]++
+			rs.errors.Inc()
+		case s.status >= 400:
+			res.Errors["4xx"]++
+			rs.errors.Inc()
+		case s.badResp:
+			res.Errors["bad_response"]++
+			rs.errors.Inc()
+		}
+		if s.status != 0 {
+			rs.latency.Observe(s.latencyMs)
+			if s.latencyMs > maxMs[route] {
+				maxMs[route] = s.latencyMs
+			}
+		}
+		if s.lateMs > lateThresholdMs {
+			res.LateDispatches++
+		}
+		if s.lateMs > res.MaxLateMs {
+			res.MaxLateMs = s.lateMs
+		}
+	}
+
+	// Per-route stats from the registry's series; the overall
+	// distribution is the exact merge of the route histograms.
+	overall, _ := histogram.New(0, sc.HistMaxMs, sc.HistBuckets)
+	var overallSum float64
+	for _, kind := range []Kind{KindSingle, KindBatch, KindReload} {
+		route := kind.Route()
+		rs := series[route]
+		requests := rs.requests.Value()
+		if requests == 0 {
+			continue
+		}
+		res.Routes[route] = routeStats(rs.latency, requests, rs.errors.Value(), maxMs[route])
+		overall.Merge(rs.latency.Export()) // same domain by construction
+		overallSum += rs.latency.Sum()
+	}
+	res.Overall = statsFromHistogram(overall, overallSum)
+	for _, rs := range res.Routes {
+		res.Overall.Errors += rs.Errors
+		if rs.MaxMs > res.Overall.MaxMs {
+			res.Overall.MaxMs = rs.MaxMs
+		}
+	}
+	if res.WallSeconds > 0 {
+		res.ThroughputRPS = float64(res.Overall.Requests) / res.WallSeconds
+	}
+	res.ErrorRate = float64(errorTotal(res)) / float64(res.RequestsSent)
+	return res
+}
+
+// routeStats reads one route's obs series into the result shape.
+func routeStats(h *obs.Histogram, requests, errors int64, maxMs float64) RouteStats {
+	rs := statsFromHistogram(h.Export(), h.Sum())
+	rs.Requests = requests
+	rs.Errors = errors
+	rs.MaxMs = maxMs
+	return rs
+}
+
+// statsFromHistogram computes the quantile summary of one latency
+// histogram. Requests defaults to the histogram's sample count.
+func statsFromHistogram(h *histogram.Histogram, sum float64) RouteStats {
+	rs := RouteStats{Requests: int64(h.Count())}
+	if h.Count() == 0 {
+		return rs
+	}
+	rs.MeanMs = sum / float64(h.Count())
+	quantile := func(q float64) float64 {
+		v, _ := h.Quantile(q)
+		return v
+	}
+	rs.P50Ms = quantile(0.50)
+	rs.P90Ms = quantile(0.90)
+	rs.P99Ms = quantile(0.99)
+	rs.P999Ms = quantile(0.999)
+	return rs
+}
+
+// errorTotal sums the result's error classes.
+func errorTotal(res *Result) int64 {
+	var n int64
+	for _, v := range res.Errors {
+		n += v
+	}
+	return n
+}
+
+// WriteResult writes the result as indented JSON, the format committed
+// under benchmarks/results/.
+func WriteResult(path string, res *Result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadgen: encoding result: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadResult loads a result (typically a committed baseline).
+func ReadResult(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	return &res, nil
+}

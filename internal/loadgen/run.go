@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cluseq/internal/pool"
+)
+
+// Runner executes scenarios against one target server.
+type Runner struct {
+	// BaseURL roots the target's API, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client, when non-nil, overrides the HTTP client. The default
+	// enables enough idle connections to keep MaxInflight requests on
+	// warm keep-alive sockets, so connection setup does not pollute the
+	// latency distribution.
+	Client *http.Client
+	// Workers, when positive, overrides the scenario's MaxInflight.
+	Workers int
+	// Validate decodes every classify response and checks that the
+	// result count matches the request's batch size (order-preservation
+	// smoke check). Costs CPU on the generator; off by default.
+	Validate bool
+	// ScrapeTarget, when set, fetches the target's GET /metrics after
+	// the run and embeds its request counters in the result, so
+	// client-observed and server-observed counts can be cross-checked.
+	ScrapeTarget bool
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// sample is one request's outcome, written by exactly one pool worker
+// at its own schedule index.
+type sample struct {
+	status    int // HTTP status; 0 = transport error
+	latencyMs float64
+	lateMs    float64 // dispatch lag behind the scheduled arrival
+	badResp   bool    // response decoded but failed validation
+}
+
+// classifyBody mirrors the server's ClassifyRequest JSON shape without
+// importing internal/server (the runner must drive any HTTP target,
+// including test stubs).
+type classifyBody struct {
+	Model     string   `json:"model"`
+	Sequence  string   `json:"sequence,omitempty"`
+	Sequences []string `json:"sequences,omitempty"`
+}
+
+// classifyReply is the subset of the server's response the optional
+// validation pass reads.
+type classifyReply struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// Run replays the scenario against the target and reduces the
+// per-request samples into a Result. The schedule is executed open
+// loop: each request fires at its precomputed arrival offset (or as
+// soon after as a worker frees up — the lag is recorded, never
+// absorbed into the offered schedule).
+func (r *Runner) Run(sc *Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if r.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: Runner.BaseURL is required")
+	}
+	schedule := sc.Schedule()
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("loadgen: scenario %q schedules no requests (rate %v over %vs)",
+			sc.Name, sc.RatePerSec, sc.DurationSec)
+	}
+	seqs := sc.Sequences()
+	workers := sc.MaxInflight
+	if r.Workers > 0 {
+		workers = r.Workers
+	}
+	client := r.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        workers + 8,
+				MaxIdleConnsPerHost: workers + 8,
+			},
+		}
+	}
+	r.logf("loadgen: scenario %s: %d requests over %.1fs (offered %.0f rps, %d workers)",
+		sc.Name, len(schedule), sc.DurationSec, sc.RatePerSec, workers)
+
+	samples := make([]sample, len(schedule))
+	p := pool.New(workers - 1)
+	start := time.Now()
+	p.Run(len(schedule), func(i int) {
+		req := schedule[i]
+		if wait := req.At - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		late := time.Since(start) - req.At
+		samples[i] = r.fire(client, sc, seqs, req)
+		samples[i].lateMs = float64(late) / float64(time.Millisecond)
+	})
+	wall := time.Since(start)
+
+	res := reduce(sc, schedule, samples, wall)
+	if r.ScrapeTarget {
+		res.Server = r.scrape()
+	}
+	r.logf("loadgen: scenario %s: %d/%d ok, %.0f rps achieved, p99 %.2fms",
+		sc.Name, res.Overall.Requests-errorTotal(res), res.RequestsSent, res.ThroughputRPS, res.Overall.P99Ms)
+	return res, nil
+}
+
+// fire sends one scheduled request and reports its outcome.
+func (r *Runner) fire(client *http.Client, sc *Scenario, seqs []string, req Request) sample {
+	var (
+		url  string
+		body []byte
+	)
+	switch req.Kind {
+	case KindReload:
+		url = r.BaseURL + "/v1/models/reload"
+	default:
+		cb := classifyBody{Model: sc.Model}
+		if req.Kind == KindSingle {
+			cb.Sequence = seqs[req.Seq%len(seqs)]
+		} else {
+			cb.Sequences = make([]string, req.Batch)
+			for k := range cb.Sequences {
+				cb.Sequences[k] = seqs[(req.Seq+k)%len(seqs)]
+			}
+		}
+		var err error
+		if body, err = json.Marshal(cb); err != nil {
+			return sample{} // unreachable: the body is plain strings
+		}
+		url = r.BaseURL + "/v1/classify"
+	}
+
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{status: 0, latencyMs: float64(time.Since(t0)) / float64(time.Millisecond)}
+	}
+	s := sample{status: resp.StatusCode}
+	if r.Validate && req.Kind != KindReload && resp.StatusCode == http.StatusOK {
+		var reply classifyReply
+		if decErr := json.NewDecoder(resp.Body).Decode(&reply); decErr != nil || len(reply.Results) != req.Batch {
+			s.badResp = true
+		}
+	}
+	// Latency covers the full exchange including body drain, matching
+	// what a real client experiences.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.latencyMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	return s
+}
+
+// scrape fetches the target's JSON /metrics for the server-side view.
+// Failures degrade to a nil section rather than failing the run: the
+// target may be a stub without a metrics endpoint.
+func (r *Runner) scrape() *ServerStats {
+	resp, err := http.Get(r.BaseURL + "/metrics")
+	if err != nil {
+		r.logf("loadgen: scraping target metrics: %v", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Requests       map[string]int64 `json:"requests"`
+		SequencesTotal int64            `json:"sequences_total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		r.logf("loadgen: decoding target metrics: %v", err)
+		return nil
+	}
+	return &ServerStats{Requests: m.Requests, SequencesTotal: m.SequencesTotal}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}

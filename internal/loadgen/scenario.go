@@ -1,0 +1,184 @@
+// Package loadgen is the serving-side load harness: an open-loop
+// (Poisson-arrival) generator that drives a cluseqd instance with mixed
+// traffic — single classifications, batch classifications with a
+// configurable batch-size distribution, and periodic hot reloads under
+// fire — and reduces the observations into a deterministic JSON result
+// that a CI gate can compare against a committed baseline.
+//
+// The package splits into four pieces so each is testable without a
+// live server:
+//
+//   - Scenario (this file): the replayable workload spec. Everything a
+//     run does — arrival times, request kinds, batch sizes, payloads —
+//     is a pure function of the spec, so a (scenario, seed) pair pins a
+//     request schedule bit-for-bit.
+//   - Schedule (schedule.go): the deterministic open-loop request
+//     timetable derived from a Scenario.
+//   - Runner (run.go): executes a schedule against a target over HTTP
+//     on a bounded internal/pool worker pool, recording per-request
+//     samples into index-partitioned state.
+//   - Result / Compare (result.go, compare.go): the emitted JSON shape
+//     and the tolerance-gated comparator CI uses for regression gates.
+//
+// Open loop means arrivals are scheduled by the generator's clock, not
+// by response completion: a slow server does not slow the offered load,
+// it grows the in-flight count (up to MaxInflight) and the measured
+// latency — which is the failure mode a capacity test must expose.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BatchSize is one entry of a scenario's batch-size distribution.
+type BatchSize struct {
+	// Size is the number of sequences in the batch.
+	Size int `json:"size"`
+	// Weight is the relative probability of this size among batch
+	// requests; weights need not sum to 1.
+	Weight float64 `json:"weight"`
+}
+
+// Scenario is a replayable load-test specification. The zero value is
+// not runnable; load one from JSON with ReadScenario or fill the fields
+// and call Validate.
+type Scenario struct {
+	// Name identifies the scenario in results and baselines.
+	Name string `json:"name"`
+	// Seed pins the arrival process, traffic mix, and payloads.
+	Seed int64 `json:"seed"`
+	// Model names the served model classify requests target.
+	Model string `json:"model"`
+
+	// Alphabet is the rune repertoire payload sequences draw from. It
+	// must match the target model's alphabet for requests to classify
+	// (out-of-alphabet runes produce per-item errors, not 5xx).
+	Alphabet string `json:"alphabet"`
+	// SeqLen is the length of every generated sequence.
+	SeqLen int `json:"seq_len"`
+	// SeqPool is the number of distinct sequences pre-generated and
+	// cycled through; a small pool keeps payload generation off the
+	// request path.
+	SeqPool int `json:"seq_pool"`
+
+	// RatePerSec is the offered load: classify arrivals follow a
+	// Poisson process with this mean rate.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// DurationSec bounds the arrival window; the run ends when every
+	// scheduled request has completed.
+	DurationSec float64 `json:"duration_sec"`
+	// BatchFraction is the probability that a classify arrival is a
+	// batch request (the rest are single-sequence).
+	BatchFraction float64 `json:"batch_fraction"`
+	// BatchSizes is the batch-size distribution; required when
+	// BatchFraction > 0.
+	BatchSizes []BatchSize `json:"batch_sizes,omitempty"`
+	// ReloadPeriodSec, when positive, fires POST /v1/models/reload
+	// every period during the arrival window — hot reload under fire.
+	ReloadPeriodSec float64 `json:"reload_period_sec,omitempty"`
+
+	// MaxInflight bounds concurrent in-flight requests (the worker pool
+	// size). When the pool saturates, dispatches run late and the run
+	// records them; the offered schedule itself never stretches.
+	// Default 64.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// HistMaxMs and HistBuckets shape the latency histograms: domain
+	// [0, HistMaxMs) ms. Defaults 500 ms and 5000 buckets (0.1 ms
+	// resolution); slower responses clamp into the last bucket.
+	HistMaxMs   float64 `json:"hist_max_ms,omitempty"`
+	HistBuckets int     `json:"hist_buckets,omitempty"`
+}
+
+// Validate checks the scenario and fills defaulted fields in place.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("loadgen: scenario needs a name")
+	}
+	if sc.Model == "" {
+		return fmt.Errorf("loadgen: scenario %q needs a model", sc.Name)
+	}
+	if len(sc.Alphabet) == 0 {
+		return fmt.Errorf("loadgen: scenario %q needs an alphabet", sc.Name)
+	}
+	if sc.SeqLen <= 0 {
+		return fmt.Errorf("loadgen: scenario %q: seq_len must be positive, got %d", sc.Name, sc.SeqLen)
+	}
+	if sc.SeqPool <= 0 {
+		return fmt.Errorf("loadgen: scenario %q: seq_pool must be positive, got %d", sc.Name, sc.SeqPool)
+	}
+	if !(sc.RatePerSec > 0) {
+		return fmt.Errorf("loadgen: scenario %q: rate_per_sec must be positive, got %v", sc.Name, sc.RatePerSec)
+	}
+	if !(sc.DurationSec > 0) {
+		return fmt.Errorf("loadgen: scenario %q: duration_sec must be positive, got %v", sc.Name, sc.DurationSec)
+	}
+	if sc.BatchFraction < 0 || sc.BatchFraction > 1 {
+		return fmt.Errorf("loadgen: scenario %q: batch_fraction %v outside [0, 1]", sc.Name, sc.BatchFraction)
+	}
+	if sc.BatchFraction > 0 {
+		total := 0.0
+		for _, b := range sc.BatchSizes {
+			if b.Size <= 0 || b.Weight < 0 {
+				return fmt.Errorf("loadgen: scenario %q: bad batch size entry %+v", sc.Name, b)
+			}
+			total += b.Weight
+		}
+		if total <= 0 {
+			return fmt.Errorf("loadgen: scenario %q: batch_fraction %v needs batch_sizes with positive weight", sc.Name, sc.BatchFraction)
+		}
+	}
+	if sc.ReloadPeriodSec < 0 {
+		return fmt.Errorf("loadgen: scenario %q: reload_period_sec must be ≥ 0, got %v", sc.Name, sc.ReloadPeriodSec)
+	}
+	if sc.MaxInflight == 0 {
+		sc.MaxInflight = 64
+	}
+	if sc.MaxInflight < 1 {
+		return fmt.Errorf("loadgen: scenario %q: max_inflight must be positive, got %d", sc.Name, sc.MaxInflight)
+	}
+	if sc.HistMaxMs == 0 {
+		sc.HistMaxMs = 500
+	}
+	if sc.HistMaxMs <= 0 {
+		return fmt.Errorf("loadgen: scenario %q: hist_max_ms must be positive, got %v", sc.Name, sc.HistMaxMs)
+	}
+	if sc.HistBuckets == 0 {
+		sc.HistBuckets = 5000
+	}
+	if sc.HistBuckets < 3 {
+		return fmt.Errorf("loadgen: scenario %q: hist_buckets must be ≥ 3, got %d", sc.Name, sc.HistBuckets)
+	}
+	return nil
+}
+
+// ReadScenario loads and validates a scenario from a JSON file.
+func ReadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	sc, err := ParseScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// ParseScenario decodes and validates a scenario from JSON bytes.
+// Unknown fields are rejected so a typo in a pinned scenario fails
+// loudly instead of silently running defaults.
+func ParseScenario(data []byte) (*Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}

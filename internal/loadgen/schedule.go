@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind discriminates the request types a schedule can carry.
+type Kind int
+
+const (
+	// KindSingle is a one-sequence POST /v1/classify.
+	KindSingle Kind = iota
+	// KindBatch is a multi-sequence POST /v1/classify.
+	KindBatch
+	// KindReload is a POST /v1/models/reload.
+	KindReload
+)
+
+// Route returns the stable route label used in results and metrics.
+func (k Kind) Route() string {
+	switch k {
+	case KindSingle:
+		return "single"
+	case KindBatch:
+		return "batch"
+	default:
+		return "reload"
+	}
+}
+
+// Request is one scheduled request: fire at offset At from the run's
+// start. For classify kinds, the payload is Batch sequences (1 for
+// KindSingle) taken from the scenario's pool starting at index
+// Seq mod pool size, wrapping around. Seq is drawn from a fixed range
+// so the schedule is identical regardless of the pool's size.
+type Request struct {
+	At    time.Duration
+	Kind  Kind
+	Batch int
+	Seq   int
+}
+
+// Stream salts keep the schedule's and the payload pool's random
+// streams independent: changing pool parameters must not perturb
+// arrival times, and vice versa.
+const (
+	scheduleSalt = 0x73636865_64756c65 // "schedule"
+	poolSalt     = 0x6c6f6164_73657173 // "loadseqs"
+)
+
+// Schedule derives the scenario's full request timetable: Poisson
+// classify arrivals over the duration window (exponential inter-arrival
+// times at RatePerSec, each independently single or batch per
+// BatchFraction) merged with reload ticks every ReloadPeriodSec. The
+// result is sorted by arrival time and is a pure function of the
+// scenario — same spec and seed, same schedule, bit for bit — which is
+// what makes a committed baseline comparable across runs.
+func (sc *Scenario) Schedule() []Request {
+	seed := uint64(sc.Seed)
+	return sc.schedule(rand.New(rand.NewPCG(seed, seed^scheduleSalt)))
+}
+
+//cluseq:deterministic
+func (sc *Scenario) schedule(rng *rand.Rand) []Request {
+	horizon := time.Duration(sc.DurationSec * float64(time.Second))
+	var reqs []Request
+
+	// Classify arrivals: exponential gaps with mean 1/rate.
+	var t time.Duration
+	for {
+		gap := time.Duration(rng.ExpFloat64() / sc.RatePerSec * float64(time.Second))
+		t += gap
+		if t >= horizon {
+			break
+		}
+		r := Request{At: t, Kind: KindSingle, Batch: 1, Seq: rng.IntN(1 << 30)}
+		if sc.BatchFraction > 0 && rng.Float64() < sc.BatchFraction {
+			r.Kind = KindBatch
+			r.Batch = sc.drawBatchSize(rng)
+		}
+		reqs = append(reqs, r)
+	}
+
+	// Reload ticks, phase-shifted off zero so the first reload lands
+	// mid-traffic rather than on a cold server.
+	if sc.ReloadPeriodSec > 0 {
+		period := time.Duration(sc.ReloadPeriodSec * float64(time.Second))
+		for at := period / 2; at < horizon; at += period {
+			reqs = append(reqs, Request{At: at, Kind: KindReload})
+		}
+	}
+
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].At < reqs[j].At })
+	return reqs
+}
+
+// drawBatchSize samples the batch-size distribution by cumulative
+// weight. Validate guarantees a positive total weight.
+//
+//cluseq:deterministic
+func (sc *Scenario) drawBatchSize(rng *rand.Rand) int {
+	total := 0.0
+	for _, b := range sc.BatchSizes {
+		total += b.Weight
+	}
+	x := rng.Float64() * total
+	for _, b := range sc.BatchSizes {
+		x -= b.Weight
+		if x < 0 {
+			return b.Size
+		}
+	}
+	return sc.BatchSizes[len(sc.BatchSizes)-1].Size
+}
+
+// Sequences generates the scenario's payload pool: SeqPool sequences of
+// SeqLen runes drawn uniformly from Alphabet, deterministically from
+// the scenario's seed on a stream independent of the schedule's.
+func (sc *Scenario) Sequences() []string {
+	seed := uint64(sc.Seed)
+	return sc.sequences(rand.New(rand.NewPCG(seed, seed^poolSalt)))
+}
+
+//cluseq:deterministic
+func (sc *Scenario) sequences(rng *rand.Rand) []string {
+	runes := []rune(sc.Alphabet)
+	out := make([]string, sc.SeqPool)
+	var b strings.Builder
+	for i := range out {
+		b.Reset()
+		b.Grow(sc.SeqLen)
+		for j := 0; j < sc.SeqLen; j++ {
+			b.WriteRune(runes[rng.IntN(len(runes))])
+		}
+		out[i] = b.String()
+	}
+	return out
+}

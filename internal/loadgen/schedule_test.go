@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// testScenario returns a small valid scenario; tests tweak fields and
+// re-Validate as needed.
+func testScenario() *Scenario {
+	return &Scenario{
+		Name:            "t",
+		Seed:            42,
+		Model:           "m",
+		Alphabet:        "abcd",
+		SeqLen:          16,
+		SeqPool:         32,
+		RatePerSec:      500,
+		DurationSec:     2,
+		BatchFraction:   0.25,
+		BatchSizes:      []BatchSize{{Size: 4, Weight: 1}, {Size: 16, Weight: 1}},
+		ReloadPeriodSec: 0.5,
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	good := testScenario()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	if good.MaxInflight != 64 || good.HistMaxMs != 500 || good.HistBuckets != 5000 {
+		t.Fatalf("defaults not applied: %+v", good)
+	}
+
+	bad := []func(*Scenario){
+		func(s *Scenario) { s.Name = "" },
+		func(s *Scenario) { s.Model = "" },
+		func(s *Scenario) { s.Alphabet = "" },
+		func(s *Scenario) { s.SeqLen = 0 },
+		func(s *Scenario) { s.SeqPool = -1 },
+		func(s *Scenario) { s.RatePerSec = 0 },
+		func(s *Scenario) { s.DurationSec = -1 },
+		func(s *Scenario) { s.BatchFraction = 1.5 },
+		func(s *Scenario) { s.BatchSizes = nil }, // batch_fraction > 0 with no sizes
+		func(s *Scenario) { s.BatchSizes = []BatchSize{{Size: -1, Weight: 1}} },
+		func(s *Scenario) { s.ReloadPeriodSec = -1 },
+		func(s *Scenario) { s.MaxInflight = -3 },
+		func(s *Scenario) { s.HistBuckets = 2 },
+	}
+	for i, mutate := range bad {
+		sc := testScenario()
+		mutate(sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation: %+v", i, sc)
+		}
+	}
+}
+
+func TestParseScenarioRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseScenario([]byte(`{"name":"x","typo_field":1}`)); err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+}
+
+// TestScheduleDeterministic is the replayability contract: the same
+// seed and spec yield the identical request schedule, and a different
+// seed yields a different one.
+func TestScheduleDeterministic(t *testing.T) {
+	a := testScenario()
+	b := testScenario()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := a.Schedule(), b.Schedule()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed and spec must produce identical schedules")
+	}
+	b.Seed = 43
+	if reflect.DeepEqual(s1, b.Schedule()) {
+		t.Fatal("different seeds should produce different schedules")
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	sc := testScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	reqs := sc.Schedule()
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].At < reqs[j].At }) {
+		t.Fatal("schedule must be sorted by arrival time")
+	}
+	var singles, batches, reloads int
+	for _, r := range reqs {
+		switch r.Kind {
+		case KindSingle:
+			singles++
+			if r.Batch != 1 {
+				t.Fatalf("single request with batch %d", r.Batch)
+			}
+		case KindBatch:
+			batches++
+			if r.Batch != 4 && r.Batch != 16 {
+				t.Fatalf("batch size %d not in the distribution", r.Batch)
+			}
+		case KindReload:
+			reloads++
+		}
+		if r.At < 0 || r.At.Seconds() >= sc.DurationSec {
+			t.Fatalf("arrival %v outside [0, %vs)", r.At, sc.DurationSec)
+		}
+	}
+	// Poisson(1000) over 2 s: stay within ±5 standard deviations.
+	if n := singles + batches; n < 840 || n > 1160 {
+		t.Fatalf("classify arrivals = %d, want ≈ 1000", n)
+	}
+	// 0.25 batch fraction ⇒ ≈ 250 batches.
+	if batches < 150 || batches > 350 {
+		t.Fatalf("batch arrivals = %d, want ≈ 250", batches)
+	}
+	// Reloads every 0.5 s starting at 0.25 s: 0.25, 0.75, 1.25, 1.75.
+	if reloads != 4 {
+		t.Fatalf("reloads = %d, want 4", reloads)
+	}
+}
+
+func TestSequencesDeterministicAndInAlphabet(t *testing.T) {
+	sc := testScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := sc.Sequences(), sc.Sequences()
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("sequence pool must be deterministic")
+	}
+	if len(p1) != sc.SeqPool {
+		t.Fatalf("pool size %d, want %d", len(p1), sc.SeqPool)
+	}
+	for _, s := range p1 {
+		if len([]rune(s)) != sc.SeqLen {
+			t.Fatalf("sequence length %d, want %d", len([]rune(s)), sc.SeqLen)
+		}
+		for _, r := range s {
+			if !strings.ContainsRune(sc.Alphabet, r) {
+				t.Fatalf("rune %q outside alphabet %q", r, sc.Alphabet)
+			}
+		}
+	}
+	// The pool seed is independent of the schedule seed's stream: the
+	// schedule must not change when only pool parameters change.
+	before := sc.Schedule()
+	sc.SeqPool = 64
+	if !reflect.DeepEqual(before, sc.Schedule()) {
+		t.Fatal("pool size must not perturb the arrival schedule")
+	}
+}

@@ -169,6 +169,21 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Export returns an independent deep copy of the underlying bucket
+// histogram, for offline analysis beyond the handle's own accessors:
+// arbitrary quantile reads without holding the handle's lock, and
+// combining series with histogram.Merge (the load harness merges its
+// per-route latency histograms into an overall distribution this way).
+// A nil Histogram exports nil.
+func (h *Histogram) Export() *histogram.Histogram {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Clone()
+}
+
 // Quantile estimates the q-quantile of the recorded samples (see
 // histogram.Quantile for the interpolation and clamping contract). The
 // boolean result is false when no samples were recorded or h is nil.

@@ -41,6 +41,39 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+// TestHistogramExport pins Export's contract: a deep, independent copy
+// of the bucket distribution that merges with other exports (the load
+// harness folds per-route exports into an overall distribution).
+func TestHistogramExport(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("test_a_ms", 0, 10, 10)
+	b := r.Histogram("test_b_ms", 0, 10, 10)
+	for i := 0; i < 6; i++ {
+		a.Observe(float64(i))
+	}
+	b.Observe(8)
+
+	ea := a.Export()
+	if ea.Count() != 6 {
+		t.Fatalf("export count = %d, want 6", ea.Count())
+	}
+	ea.Add(9)
+	if a.Count() != 6 {
+		t.Fatalf("mutating the export changed the live histogram: count %d", a.Count())
+	}
+
+	overall := a.Export()
+	if err := overall.Merge(b.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if overall.Count() != 7 {
+		t.Fatalf("merged export count = %d, want 7", overall.Count())
+	}
+	if q, ok := overall.Quantile(1); !ok || q < 8 {
+		t.Fatalf("merged p100 = %v (ok=%v), want ≥ 8", q, ok)
+	}
+}
+
 // TestNilSafety drives every handle and registry method through nil
 // receivers — the contract that lets instrumented code run with
 // observability off and no conditionals.
@@ -62,6 +95,9 @@ func TestNilSafety(t *testing.T) {
 	}
 	if _, ok := h.Quantile(0.5); ok {
 		t.Fatal("nil histogram quantile must report no data")
+	}
+	if h.Export() != nil {
+		t.Fatal("nil histogram must export nil")
 	}
 	if r.Snapshot() != nil {
 		t.Fatal("nil registry snapshot must be nil")

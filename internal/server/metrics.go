@@ -19,6 +19,8 @@ type metrics struct {
 	outliers  *obs.Counter   // of which below every threshold
 	uptime    *obs.Gauge     // refreshed at each Prometheus scrape
 	latency   *obs.Histogram // classify latency, milliseconds (legacy JSON shape)
+	inflight  *obs.Gauge     // requests currently inside a handler
+	batchSize *obs.Histogram // sequences per classify request
 }
 
 // latencyDomainMs bounds the latency histogram; slower requests clamp
@@ -37,6 +39,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 		uptime:    reg.Gauge("cluseqd_uptime_seconds"),
 		// 400 buckets of 5 ms over [0, 2s).
 		latency: reg.Histogram("cluseqd_classify_latency_ms", 0, latencyDomainMs, 400),
+		// Load-harness-facing series: the inflight gauge exposes queueing
+		// under open-loop load, and the batch-size distribution lets a
+		// replayed scenario be checked against what the server saw.
+		inflight: reg.Gauge("cluseqd_inflight_requests"),
+		// 256 buckets of width 4 over [0, 1024), the default MaxBatch.
+		batchSize: reg.Histogram("cluseqd_classify_batch_size", 0, 1024, 256),
 	}
 }
 

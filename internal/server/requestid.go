@@ -107,9 +107,11 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 		}
 		w.Header().Set(RequestIDHeader, id)
 		sw := &statusWriter{ResponseWriter: w}
+		s.metrics.inflight.Add(1)
 		start := time.Now()
 		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
 		elapsed := time.Since(start)
+		s.metrics.inflight.Add(-1)
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK // handler wrote nothing; net/http sends 200

@@ -64,17 +64,24 @@ type Config struct {
 	// model registry, and pool to get a single exposition. Nil creates a
 	// private registry, so metrics always work.
 	Obs *obs.Registry
+	// ClassifyDelay, when positive, injects an artificial sleep at the
+	// start of every classify request. It exists solely for the load
+	// harness: the CI loadperf gate starts a deliberately slowed daemon
+	// and asserts the latency-regression comparator fires (see
+	// benchmarks/README.md). Never set it in production.
+	ClassifyDelay time.Duration
 }
 
 // Server routes the API. Construct with New; safe for concurrent use.
 type Server struct {
-	reg          *registry.Registry
-	maxBatch     int
-	maxBodyBytes int64
-	timeout      time.Duration
-	pool         *pool.Pool
-	metrics      *metrics
-	logf         func(format string, args ...any)
+	reg           *registry.Registry
+	maxBatch      int
+	maxBodyBytes  int64
+	timeout       time.Duration
+	classifyDelay time.Duration
+	pool          *pool.Pool
+	metrics       *metrics
+	logf          func(format string, args ...any)
 
 	// classifyHook, when non-nil, runs at the start of every classify
 	// request — test instrumentation for shutdown/race tests.
@@ -103,13 +110,14 @@ func New(cfg Config) (*Server, error) {
 		logf = func(string, ...any) {}
 	}
 	s := &Server{
-		reg:          cfg.Registry,
-		maxBatch:     cfg.MaxBatch,
-		maxBodyBytes: cfg.MaxBodyBytes,
-		timeout:      cfg.Timeout,
-		pool:         pool.New(cfg.Workers - 1),
-		metrics:      newMetrics(cfg.Obs),
-		logf:         logf,
+		reg:           cfg.Registry,
+		maxBatch:      cfg.MaxBatch,
+		maxBodyBytes:  cfg.MaxBodyBytes,
+		timeout:       cfg.Timeout,
+		classifyDelay: cfg.ClassifyDelay,
+		pool:          pool.New(cfg.Workers - 1),
+		metrics:       newMetrics(cfg.Obs),
+		logf:          logf,
 	}
 	s.pool.Instrument(s.metrics.reg, "cluseqd_pool")
 	s.reg.Instrument(s.metrics.reg)
@@ -229,6 +237,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if s.classifyHook != nil {
 		s.classifyHook()
 	}
+	if s.classifyDelay > 0 {
+		// Load-harness slowdown injection; see Config.ClassifyDelay.
+		time.Sleep(s.classifyDelay)
+	}
 	start := time.Now()
 
 	var req ClassifyRequest
@@ -263,6 +275,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusRequestEntityTooLarge, "too_large", "batch of %d exceeds the %d-sequence limit", len(seqs), s.maxBatch)
 		return
 	}
+	s.metrics.batchSize.Observe(float64(len(seqs)))
 	m, ok := s.reg.Get(req.Model)
 	if !ok {
 		s.fail(w, r, http.StatusNotFound, "not_found", "unknown model %q", req.Model)

@@ -413,6 +413,11 @@ func TestMetricsPrometheus(t *testing.T) {
 		"# TYPE cluseqd_classify_latency_ms summary",
 		"cluseqd_classify_latency_ms_count 1",
 		"# TYPE cluseqd_uptime_seconds gauge",
+		"# TYPE cluseqd_inflight_requests gauge",
+		// The scrape itself is the one request in flight at read time.
+		"cluseqd_inflight_requests 1",
+		"# TYPE cluseqd_classify_batch_size summary",
+		"cluseqd_classify_batch_size_count 2",
 		`cluseqd_model_clusters{model="m"} 1`,
 		"cluseq_registry_reloads_total 1",
 		"cluseqd_pool_runs_total",

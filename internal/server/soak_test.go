@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSoakClassifyUnderReload sustains mixed single and batch classify
+// traffic while the model bundle is rewritten and reloaded under fire.
+// The invariants, checked on every response (run with -race in CI):
+//
+//   - no request ever sees a non-200 status — hot reload must be
+//     invisible to in-flight and subsequent classifications;
+//   - batch results stay index-aligned: sequences with a rune outside
+//     the model's alphabet are planted at fixed positions and must be
+//     the exact entries carrying an error marker, no matter which model
+//     generation serves the batch.
+func TestSoakClassifyUnderReload(t *testing.T) {
+	s, dir := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	duration := 2 * time.Second
+	if testing.Short() {
+		duration = 250 * time.Millisecond
+	}
+	deadline := time.Now().Add(duration)
+	client := ts.Client()
+
+	// Batch payload: valid alternating-ab sequences with invalid markers
+	// ('z' is outside alphabet "abcd") planted at indices 3 and 11.
+	const batchLen = 16
+	markers := map[int]bool{3: true, 11: true}
+	batch := make([]string, batchLen)
+	for i := range batch {
+		if markers[i] {
+			batch[i] = "zzzz"
+		} else {
+			batch[i] = "abababab"
+		}
+	}
+	batchBody, err := json.Marshal(ClassifyRequest{Model: "m", Sequences: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		requests atomic.Int64
+		reloads  atomic.Int64
+	)
+	post := func(path string, body string) (*http.Response, error) {
+		return client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	}
+
+	// Classify workers: half single, half batch.
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				var (
+					resp *http.Response
+					err  error
+				)
+				isBatch := w%2 == 1
+				if isBatch {
+					resp, err = post("/v1/classify", string(batchBody))
+				} else {
+					resp, err = post("/v1/classify", `{"model":"m","sequence":"abababab"}`)
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				var out ClassifyResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: status %d", w, resp.StatusCode)
+					return
+				}
+				if decErr != nil {
+					t.Errorf("worker %d: decoding response: %v", w, decErr)
+					return
+				}
+				want := 1
+				if isBatch {
+					want = batchLen
+				}
+				if len(out.Results) != want {
+					t.Errorf("worker %d: %d results, want %d", w, len(out.Results), want)
+					return
+				}
+				for i, res := range out.Results {
+					if isBatch && markers[i] {
+						if res.Error == "" {
+							t.Errorf("worker %d: marker index %d lost its error: %+v", w, i, res)
+							return
+						}
+						continue
+					}
+					if res.Error != "" {
+						t.Errorf("worker %d: valid index %d errored: %s", w, i, res.Error)
+						return
+					}
+				}
+				requests.Add(1)
+			}
+		}(w)
+	}
+
+	// Reloader: rewrite the bundle (atomic temp+rename, alternating
+	// training data so generations genuinely differ) and reload it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for gen := 0; time.Now().Before(deadline); gen++ {
+			if gen%2 == 0 {
+				writeBundle(t, dir, "m", makeClassifier(t, "abababababab", "babababa"))
+			} else {
+				writeBundle(t, dir, "m", makeClassifier(t, "abababab", "bababababab", "abab"))
+			}
+			resp, err := post("/v1/models/reload", "")
+			if err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("reload: status %d", resp.StatusCode)
+				return
+			}
+			reloads.Add(1)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	if requests.Load() == 0 || reloads.Load() == 0 {
+		t.Fatalf("soak made no progress: %d classifies, %d reloads", requests.Load(), reloads.Load())
+	}
+	t.Logf("soak: %d classifies across %d reloads in %v", requests.Load(), reloads.Load(), duration)
+
+	// The dust has settled: the daemon must still be fully serviceable.
+	resp, data := postClassify(t, ts.URL, `{"model":"m","sequence":"abababab"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-soak classify: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestSoakBatchOrderAcrossSizes drives varied batch sizes concurrently
+// and checks each response's results line up with its own request — a
+// cross-talk probe for the shared worker pool.
+func TestSoakBatchOrderAcrossSizes(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			size := 1 << (w % 5) // 1, 2, 4, 8, 16
+			marker := w % size
+			batch := make([]string, size)
+			for i := range batch {
+				batch[i] = "abababab"
+			}
+			batch[marker] = "zzzz"
+			body, _ := json.Marshal(ClassifyRequest{Model: "m", Sequences: batch})
+			for it := 0; it < iters; it++ {
+				resp, err := ts.Client().Post(ts.URL+"/v1/classify", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				var out ClassifyResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					t.Errorf("worker %d: status %d, decode %v", w, resp.StatusCode, decErr)
+					return
+				}
+				if len(out.Results) != size {
+					t.Errorf("worker %d: %d results, want %d", w, len(out.Results), size)
+					return
+				}
+				for i, res := range out.Results {
+					if got, want := res.Error != "", i == marker; got != want {
+						t.Errorf("worker %d iter %d: index %d error=%v, want %v (%s)",
+							w, it, i, got, want, fmt.Sprintf("%+v", res))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
