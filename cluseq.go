@@ -34,6 +34,7 @@ import (
 	"cluseq/internal/registry"
 	"cluseq/internal/seq"
 	"cluseq/internal/server"
+	"cluseq/internal/stream"
 )
 
 // Core data types, re-exported from internal/seq.
@@ -175,7 +176,43 @@ type (
 	ClassifyResponse = server.ClassifyResponse
 	// ClassifyResult is one sequence's outcome within a ClassifyResponse.
 	ClassifyResult = server.ClassifyResult
+	// IngestRequest is the body of POST /v1/ingest.
+	IngestRequest = server.IngestRequest
+	// IngestResponse answers POST /v1/ingest.
+	IngestResponse = server.IngestResponse
 )
+
+// Streaming types, re-exported from internal/stream for the cluseqd
+// daemon and for users embedding incremental clustering directly (see
+// DESIGN.md §13 for the lifecycle and snapshot-publication contract).
+type (
+	// StreamOptions parameterizes NewStreamEngine. Only Alphabet is
+	// required; every other zero field picks a sensible default.
+	StreamOptions = stream.Config
+	// StreamEngine clusters an unbounded sequence stream incrementally,
+	// publishing immutable classifier snapshots at each consolidation.
+	StreamEngine = stream.Engine
+	// IngestVerdict is the per-sequence outcome of an ingest.
+	IngestVerdict = stream.Verdict
+	// IngestStatus classifies one ingest outcome.
+	IngestStatus = stream.Status
+	// StreamStats is the engine's counter and size snapshot
+	// (GET /v1/ingest/stats).
+	StreamStats = stream.Stats
+)
+
+// Ingest outcomes.
+const (
+	IngestAccepted   = stream.StatusAccepted
+	IngestNewCluster = stream.StatusNewCluster
+	IngestRejected   = stream.StatusRejected
+)
+
+// NewStreamEngine constructs an incremental clustering engine. Wire its
+// Publish option to ModelRegistry.Publish to surface each consolidated
+// snapshot on the serving API, and pass the engine to
+// ServerConfig.Stream to enable POST /v1/ingest. Close it when done.
+func NewStreamEngine(cfg StreamOptions) (*StreamEngine, error) { return stream.New(cfg) }
 
 // ModelBundleExt is the filename extension the registry requires of a
 // model bundle.

@@ -3,10 +3,19 @@
 // sequences against them over HTTP, with atomic hot reload of retrained
 // bundles and graceful drain on shutdown.
 //
+// With -stream the daemon additionally runs an incremental clustering
+// engine: POST /v1/ingest feeds it sequences, and every consolidation
+// publishes a frozen snapshot into the registry under -stream-model, so
+// /v1/classify serves the evolving stream model next to the file-loaded
+// bundles.
+//
 // Usage:
 //
 //	cluseqd -models DIR [-addr :8080] [-timeout 30s] [-max-batch 1024]
 //	        [-workers N] [-drain 10s] [-pprof] [-v]
+//	        [-stream -stream-alphabet SYMS [-stream-model NAME]
+//	         [-stream-threshold T] [-stream-consolidate N]
+//	         [-stream-flush D]] [-trace-out FILE]
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -14,6 +23,9 @@
 //	                        {"model":"name","sequences":["acgt",...]}
 //	GET  /v1/models         loaded models with parameters and tree sizes
 //	POST /v1/models/reload  rescan the model directory
+//	POST /v1/ingest         {"sequence":"acgt"} or {"sequences":[...]},
+//	                        only with -stream
+//	GET  /v1/ingest/stats   streaming engine counters, only with -stream
 //	GET  /healthz, /readyz  liveness and readiness
 //	GET  /metrics           request/error/latency/outlier counters (JSON);
 //	                        ?format=prom for Prometheus text exposition
@@ -61,6 +73,14 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 		verbose   = fs.Bool("v", false, "log per-request refusals and reloads")
 		withPprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints leak internals)")
 		slow      = fs.Duration("slow-classify", 0, "inject an artificial delay into every classify request (load-harness testing aid; never set in production)")
+
+		streamOn    = fs.Bool("stream", false, "enable the incremental clustering engine and POST /v1/ingest")
+		streamAlpha = fs.String("stream-alphabet", "", "alphabet runes for the streaming engine (required with -stream)")
+		streamModel = fs.String("stream-model", "stream", "registry name the streaming engine publishes its snapshots under")
+		streamThr   = fs.Float64("stream-threshold", 0, "initial similarity threshold t for the streaming engine (0 = default)")
+		streamEvery = fs.Int("stream-consolidate", 0, "streaming consolidation cadence in ingests (0 = default)")
+		streamFlush = fs.Duration("stream-flush", 0, "also consolidate an idle stream on this wall-clock interval (0 = off)")
+		traceOut    = fs.String("trace-out", "", "append JSONL phase spans (streaming consolidation) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,12 +103,70 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 	}
 	logf("cluseqd: %d models loaded from %s", reg.Len(), *models)
 
+	// One metrics registry spans the server, the model registry, and the
+	// streaming engine, so GET /metrics is a single exposition.
+	met := cluseq.NewMetrics()
+	var tracer *cluseq.Tracer
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(stderr, "cluseqd:", err)
+			return 1
+		}
+		defer f.Close()
+		tracer = cluseq.NewTracer(f)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(stderr, "cluseqd: trace:", err)
+			}
+		}()
+	}
+
+	var eng *cluseq.StreamEngine
+	if *streamOn {
+		if *streamAlpha == "" {
+			fmt.Fprintln(stderr, "cluseqd: -stream requires -stream-alphabet")
+			return 2
+		}
+		alpha, err := cluseq.NewAlphabet(*streamAlpha)
+		if err != nil {
+			fmt.Fprintln(stderr, "cluseqd:", err)
+			return 1
+		}
+		name := *streamModel
+		eng, err = cluseq.NewStreamEngine(cluseq.StreamOptions{
+			Alphabet:            alpha,
+			SimilarityThreshold: *streamThr,
+			ConsolidateEvery:    *streamEvery,
+			FlushInterval:       *streamFlush,
+			Workers:             *workers,
+			// Each consolidation's frozen snapshot goes straight into the
+			// serving registry: one atomic swap, readers never blocked.
+			Publish: func(clf *cluseq.Classifier, version uint64) {
+				if err := reg.Publish(name, clf, version); err != nil {
+					logf("cluseqd: publishing stream model %s v%d: %v", name, version, err)
+				}
+			},
+			Obs:    met,
+			Tracer: tracer,
+			Logf:   logf,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "cluseqd:", err)
+			return 1
+		}
+		defer eng.Close()
+		logf("cluseqd: streaming ingest enabled, publishing model %q", name)
+	}
+
 	scfg := cluseq.ServerConfig{
 		Registry:      reg,
 		MaxBatch:      *maxBatch,
 		Workers:       *workers,
 		Timeout:       *timeout,
 		ClassifyDelay: *slow,
+		Obs:           met,
+		Stream:        eng,
 	}
 	if *slow > 0 {
 		logf("cluseqd: WARNING: -slow-classify %v injects artificial latency (testing aid)", *slow)

@@ -379,3 +379,171 @@ func TestDaemonUsageErrors(t *testing.T) {
 		t.Fatalf("run with missing dir = %d, want 1", code)
 	}
 }
+
+// TestDaemonStreamingEndToEnd exercises the ISSUE's acceptance path:
+// start a daemon with an empty model directory and -stream, feed it a
+// labeled synthetic stream over POST /v1/ingest, watch clusters form and
+// consolidate, classify against the continuously republished "stream"
+// model mid-ingest with zero non-200s, and verify the stream gauges and
+// consolidation spans landed in /metrics and -trace-out.
+func TestDaemonStreamingEndToEnd(t *testing.T) {
+	db, err := datagen.SyntheticDB(datagen.SyntheticConfig{
+		NumSequences: 400,
+		AvgLength:    80,
+		AlphabetSize: 12,
+		NumClusters:  4,
+		OutlierFrac:  0.02,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatalf("SyntheticDB: %v", err)
+	}
+
+	dir := t.TempDir() // empty: the stream model is the only one served
+	traceFile := filepath.Join(t.TempDir(), "spans.jsonl")
+	base, sig, done, logs := startDaemon(t,
+		"-models", dir,
+		"-stream", "-stream-alphabet", db.Alphabet.String(),
+		"-stream-threshold", "1.05", "-stream-consolidate", "64",
+		"-trace-out", traceFile, "-v")
+
+	// No models yet: not ready, and classify against "stream" is a 404.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before any publish = %d, want 503", resp.StatusCode)
+	}
+
+	// Feed the stream in batches, classifying mid-ingest as soon as the
+	// first consolidation published a snapshot. Every request on both
+	// endpoints must be a 200.
+	published := false
+	classifies := 0
+	const batchSize = 40
+	for off := 0; off < db.Len(); off += batchSize {
+		end := off + batchSize
+		if end > db.Len() {
+			end = db.Len()
+		}
+		batch := make([]string, 0, end-off)
+		for _, s := range db.Sequences[off:end] {
+			batch = append(batch, db.Alphabet.Decode(s.Symbols))
+		}
+		resp, body := postJSON(t, base+"/v1/ingest", cluseq.IngestRequest{Sequences: batch})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest at offset %d = %d: %s", off, resp.StatusCode, body)
+		}
+		var ir cluseq.IngestResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatalf("ingest response: %v", err)
+		}
+		if len(ir.Results) != len(batch) {
+			t.Fatalf("ingest results = %d, want %d", len(ir.Results), len(batch))
+		}
+
+		resp, err = http.Get(base + "/v1/ingest/stats")
+		if err != nil {
+			t.Fatalf("GET /v1/ingest/stats: %v", err)
+		}
+		var st cluseq.StreamStats
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			t.Fatalf("ingest stats = %d, decode %v", resp.StatusCode, decErr)
+		}
+		if st.PublishedVersion > 0 {
+			published = true
+		}
+		if published {
+			probe := db.Alphabet.Decode(db.Sequences[0].Symbols)
+			resp, body := postJSON(t, base+"/v1/classify", map[string]any{"model": "stream", "sequence": probe})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("mid-ingest classify = %d: %s", resp.StatusCode, body)
+			}
+			var cr cluseq.ClassifyResponse
+			if err := json.Unmarshal(body, &cr); err != nil {
+				t.Fatalf("classify response: %v", err)
+			}
+			if len(cr.Results) != 1 || cr.Results[0].Error != "" {
+				t.Fatalf("mid-ingest classify result: %s", body)
+			}
+			classifies++
+		}
+	}
+	if !published {
+		t.Fatal("no snapshot was published during the stream")
+	}
+	if classifies == 0 {
+		t.Fatal("no mid-ingest classification happened")
+	}
+
+	// Final state: clusters formed, consolidations ran, the stream model
+	// is listed and the daemon is ready.
+	resp, err = http.Get(base + "/v1/ingest/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/ingest/stats: %v", err)
+	}
+	var st cluseq.StreamStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	resp.Body.Close()
+	if st.Clusters < 2 {
+		t.Errorf("clusters = %d, want ≥ 2 (4 planted)", st.Clusters)
+	}
+	if st.Consolidations == 0 || st.PublishedVersion == 0 {
+		t.Errorf("consolidations = %d, version = %d, want both > 0", st.Consolidations, st.PublishedVersion)
+	}
+	if resp, err = http.Get(base + "/readyz"); err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after publish = %d, want 200", resp.StatusCode)
+	}
+
+	// The shared exposition must carry the stream gauges with live values.
+	resp, err = http.Get(base + "/metrics?format=prom")
+	if err != nil {
+		t.Fatalf("GET /metrics?format=prom: %v", err)
+	}
+	var prom bytes.Buffer
+	prom.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"cluseq_stream_clusters",
+		"cluseq_stream_consolidations_total",
+		"cluseq_stream_published_version",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prom exposition missing %s", want)
+		}
+	}
+	if strings.Contains(prom.String(), "cluseq_stream_clusters 0\n") {
+		t.Error("cluseq_stream_clusters still 0 after the stream")
+	}
+
+	sig <- os.Interrupt
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exit code %d: %s", code, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// -trace-out captured the consolidation phases as spans.
+	spans, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("reading trace file: %v", err)
+	}
+	for _, want := range []string{"stream_merge", "stream_threshold", "stream_publish"} {
+		if !strings.Contains(string(spans), `"name":"`+want+`"`) {
+			t.Errorf("trace file missing span %s", want)
+		}
+	}
+}

@@ -72,6 +72,46 @@ func NewClassifier(db *seq.Database, res *Result, cfg Config) (*Classifier, erro
 	return c, nil
 }
 
+// NewClassifierFromParts assembles a classifier directly from cluster
+// trees, without a Result. The streaming engine (internal/stream) uses
+// it at snapshot-publication time: the trees must be private, immutable
+// copies (see pst.Tree.Clone) sharing one alphabet size, background is
+// the symbol distribution the similarities were scored against, and
+// threshold is the similarity threshold in effect (not log-domain). The
+// background slice is copied; the trees are not, so the caller must not
+// mutate them afterwards.
+func NewClassifierFromParts(trees []*pst.Tree, alphabet *seq.Alphabet, background []float64, threshold float64, raw bool) (*Classifier, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("core: classifier needs at least one cluster tree")
+	}
+	if alphabet == nil {
+		return nil, fmt.Errorf("core: classifier needs an alphabet")
+	}
+	if len(background) != alphabet.Size() {
+		return nil, fmt.Errorf("core: background has %d entries, alphabet %d symbols", len(background), alphabet.Size())
+	}
+	if !(threshold > 0) || math.IsInf(threshold, 1) {
+		return nil, fmt.Errorf("core: threshold %v outside (0, +inf)", threshold)
+	}
+	for i, tree := range trees {
+		if tree == nil {
+			return nil, fmt.Errorf("core: cluster tree %d is nil", i)
+		}
+		if got := tree.Config().AlphabetSize; got != alphabet.Size() {
+			return nil, fmt.Errorf("core: cluster tree %d built over %d symbols, alphabet has %d", i, got, alphabet.Size())
+		}
+	}
+	c := &Classifier{
+		trees:      trees,
+		background: append([]float64(nil), background...),
+		logT:       math.Log(threshold),
+		raw:        raw,
+		alphabet:   alphabet,
+	}
+	c.compileSnapshots()
+	return c, nil
+}
+
 // compileSnapshots freezes every tree into its scoring snapshot; called
 // once per constructor, before the classifier is published to callers.
 func (c *Classifier) compileSnapshots() {

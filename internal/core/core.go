@@ -353,10 +353,15 @@ func Cluster(db *seq.Database, cfg Config) (*Result, error) {
 		cfg.PMin = 0.25 / float64(db.Alphabet.Size())
 	}
 	e := &engine{
-		db:   db,
-		cfg:  cfg,
-		rng:  rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x636c7573)),
-		logT: math.Log(cfg.SimilarityThreshold),
+		db:  db,
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x636c7573)),
+		thr: ThresholdAdjuster{
+			LogT:    math.Log(cfg.SimilarityThreshold),
+			Buckets: cfg.HistogramBuckets,
+			Valley:  cfg.Valley,
+			Sticky:  true,
+		},
 	}
 	e.background = db.SymbolFrequencies()
 	return e.run()

@@ -58,9 +58,10 @@ type engine struct {
 	background []float64
 
 	clusters []*cluster
-	logT     float64
-	tStable  bool // §4.6: t and t̂ within 1%, stop adjusting
-	tMoved   bool // t changed during the current iteration
+	// thr holds the §4.6 threshold state (see ThresholdAdjuster); the
+	// batch engine runs it Sticky so a converged threshold stays put.
+	thr    ThresholdAdjuster
+	tMoved bool // t changed during the current iteration
 
 	// pool serves every parallel phase of the run; nil when Workers=1.
 	pool *pool.Pool
@@ -220,11 +221,11 @@ func (e *engine) run() (*Result, error) {
 			unclustered := len(e.unclusteredIndices())
 			starved := moves == 0 && unclustered > e.db.Len()/3
 			trace.ValleyEstimate = e.adjustThreshold(logSims, starved)
-			sp.End(obs.Float("t", math.Exp(e.logT)), obs.Bool("moved", e.tMoved))
+			sp.End(obs.Float("t", e.thr.Threshold()), obs.Bool("moved", e.tMoved))
 			e.met.observePhase(e.met.phaseThreshold, start)
 		}
 		trace.Clusters = len(e.clusters)
-		trace.Threshold = math.Exp(e.logT)
+		trace.Threshold = e.thr.Threshold()
 		trace.Unclustered = len(e.unclusteredIndices())
 		trace.SnapshotCompiles = e.iterCompiles
 		e.observeIteration(&trace)
@@ -258,7 +259,7 @@ func (e *engine) run() (*Result, error) {
 		}
 	}
 
-	res.FinalThreshold = math.Exp(e.logT)
+	res.FinalThreshold = e.thr.Threshold()
 	res.Unclustered = e.unclusteredIndices()
 	// Stable output order: by cluster size descending, then ID.
 	sort.Slice(e.clusters, func(i, j int) bool {
@@ -338,7 +339,7 @@ func (e *engine) refine() {
 			}
 			for _, c := range e.clusters {
 				sim := e.cachedSim(c, si, s.Symbols, false)
-				if e.normalizedLogSim(sim, len(s.Symbols)) >= e.logT {
+				if e.normalizedLogSim(sim, len(s.Symbols)) >= e.thr.LogT {
 					c.members[si] = true
 				} else {
 					delete(c.members, si)
@@ -658,7 +659,7 @@ func (e *engine) recluster() []float64 {
 			if !math.IsInf(norm, -1) && si != c.seedIdx {
 				logSims = append(logSims, norm)
 			}
-			if norm >= e.logT {
+			if norm >= e.thr.LogT {
 				// §4.2/§4.4: when a sequence joins a cluster, the segment
 				// producing the maximum similarity updates the tree — on
 				// the join transition only; re-inserting a continuing

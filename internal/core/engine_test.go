@@ -120,8 +120,8 @@ func TestConsolidateSingleClusterNoOp(t *testing.T) {
 
 func TestAdjustThresholdMovesTowardValley(t *testing.T) {
 	e := &engine{
-		cfg:  Config{HistogramBuckets: 20},
-		logT: math.Log(3.0),
+		cfg: Config{HistogramBuckets: 20},
+		thr: ThresholdAdjuster{LogT: math.Log(3.0), Buckets: 20, Sticky: true},
 	}
 	// Bimodal log-similarities: background mass near log-sim −2, member
 	// mass near +6, valley between them.
@@ -132,19 +132,22 @@ func TestAdjustThresholdMovesTowardValley(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		sims = append(sims, 6+0.2*float64(i%5))
 	}
-	tBefore := math.Exp(e.logT)
+	tBefore := e.thr.Threshold()
 	tHat := e.adjustThreshold(sims, false)
 	if tHat == 0 {
 		t.Fatal("no valley found in clearly bimodal data")
 	}
-	tAfter := math.Exp(e.logT)
-	if math.Abs(tAfter-(tBefore+tHat)/2) > 1e-9 && !e.tStable {
+	tAfter := e.thr.Threshold()
+	if math.Abs(tAfter-(tBefore+tHat)/2) > 1e-9 && !e.thr.stable {
 		t.Fatalf("t moved to %v, want midpoint of %v and %v", tAfter, tBefore, tHat)
 	}
 }
 
 func TestAdjustThresholdStabilizes(t *testing.T) {
-	e := &engine{cfg: Config{HistogramBuckets: 10}}
+	e := &engine{
+		cfg: Config{HistogramBuckets: 10},
+		thr: ThresholdAdjuster{Buckets: 10, Sticky: true},
+	}
 	// Valley will land somewhere; drive t there and verify the 1% rule
 	// eventually freezes it.
 	var sims []float64
@@ -154,21 +157,24 @@ func TestAdjustThresholdStabilizes(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		sims = append(sims, 5+0.01*float64(i%10))
 	}
-	e.logT = 0
-	for i := 0; i < 50 && !e.tStable; i++ {
+	e.thr.LogT = 0
+	for i := 0; i < 50 && !e.thr.stable; i++ {
 		e.adjustThreshold(sims, false)
 	}
-	if !e.tStable {
-		t.Fatalf("threshold never stabilized; t = %v", math.Exp(e.logT))
+	if !e.thr.stable {
+		t.Fatalf("threshold never stabilized; t = %v", e.thr.Threshold())
 	}
 }
 
 func TestAdjustThresholdTooFewSamples(t *testing.T) {
-	e := &engine{cfg: Config{HistogramBuckets: 100}, logT: 1}
+	e := &engine{
+		cfg: Config{HistogramBuckets: 100},
+		thr: ThresholdAdjuster{LogT: 1, Buckets: 100, Sticky: true},
+	}
 	if got := e.adjustThreshold([]float64{1, 2, 3}, false); got != 0 {
 		t.Fatalf("valley from 3 samples = %v, want 0 (skip)", got)
 	}
-	if e.logT != 1 {
+	if e.thr.LogT != 1 {
 		t.Fatal("threshold must not move without a valley")
 	}
 }

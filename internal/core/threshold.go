@@ -7,26 +7,62 @@ import (
 	"cluseq/internal/histogram"
 )
 
-// adjustThreshold implements §4.6: build a histogram of all
-// sequence-cluster similarities observed this iteration, locate the valley
-// t̂ (the sharpest turn of the curve, by maximal left/right regression
-// slope difference), and move t halfway toward it. Returns the valley
-// estimate (1.0 ≡ log 0 means "none found").
+// ThresholdAdjuster implements the §4.6 automatic similarity-threshold
+// adjustment as a self-contained piece of state, so both the batch
+// engine and the streaming ingest engine (internal/stream) apply the
+// exact same rule: build a histogram of observed sequence-cluster
+// log-similarities, locate the valley t̂ between the background mode and
+// the member mode, and move t halfway toward it per pass.
 //
 // Engineering note: the paper histograms raw similarities. Raw
-// similarities span hundreds of orders of magnitude (they are products of
-// l per-symbol ratios), so a fixed-granularity linear histogram would
+// similarities span hundreds of orders of magnitude (they are products
+// of l per-symbol ratios), so a fixed-granularity linear histogram would
 // collapse all background mass into one bucket; we histogram
 // log-similarities over a clamped range instead, which preserves the
 // valley the heuristic is after and keeps the bucket count meaningful.
+type ThresholdAdjuster struct {
+	// LogT is the current threshold in the log domain (ln t). Callers
+	// compare normalized log-similarities directly against it.
+	LogT float64
+	// Buckets is the histogram granularity (Config.HistogramBuckets);
+	// zero selects the default 100.
+	Buckets int
+	// Valley selects the valley estimator.
+	Valley ValleyEstimator
+	// Sticky reproduces the batch engine's convergence behaviour: once t
+	// and t̂ agree within 1%, adjustment stops until a starved pass
+	// reopens it. The streaming engine leaves this false so the
+	// threshold keeps tracking the similarity distribution as the stream
+	// drifts — the per-consolidation threshold delta is the drift signal
+	// the obs layer reports.
+	Sticky bool
+	// stable records §4.6 convergence (t and t̂ within 1%) under Sticky.
+	stable bool
+}
+
+// Threshold returns the current threshold in the similarity domain.
+func (a *ThresholdAdjuster) Threshold() float64 { return math.Exp(a.LogT) }
+
+// Adjust runs one §4.6 pass over the log-similarities observed since the
+// previous pass. starved marks a pass in which clustering made no
+// progress while much of the data remains unclustered — the signature of
+// a threshold stuck above the reach of fresh seed clusters — which
+// biases the auto estimator toward the paper's growth-friendly
+// regression valley and reopens a converged (Sticky) adjuster. It
+// returns the valley estimate t̂ (0 when no valley was found) and
+// whether LogT moved.
 //
 //cluseq:deterministic
-func (e *engine) adjustThreshold(logSims []float64, starved bool) float64 {
-	if e.tStable && !starved {
-		return 0 // §4.6: t and t̂ converged; only starvation reopens it
+func (a *ThresholdAdjuster) Adjust(logSims []float64, starved bool) (valley float64, moved bool) {
+	if a.stable && !starved {
+		return 0, false // §4.6: t and t̂ converged; only starvation reopens it
 	}
-	if len(logSims) < 2*e.cfg.HistogramBuckets {
-		return 0 // too few observations for a meaningful valley
+	buckets := a.Buckets
+	if buckets <= 0 {
+		buckets = 100
+	}
+	if len(logSims) < 2*buckets {
+		return 0, false // too few observations for a meaningful valley
 	}
 	// Trim the extreme 2% on both sides: a handful of memorization
 	// artifacts (e.g. early members whose inserted segments dominate a
@@ -37,11 +73,11 @@ func (e *engine) adjustThreshold(logSims []float64, starved bool) float64 {
 	lo := sorted[len(sorted)/50]
 	hi := sorted[len(sorted)-1-len(sorted)/50]
 	if !(lo < hi) {
-		return 0
+		return 0, false
 	}
-	h, err := histogram.New(lo, hi, e.cfg.HistogramBuckets)
+	h, err := histogram.New(lo, hi, buckets)
 	if err != nil {
-		return 0
+		return 0, false
 	}
 	for _, v := range logSims {
 		h.Add(v)
@@ -54,7 +90,7 @@ func (e *engine) adjustThreshold(logSims []float64, starved bool) float64 {
 	// growth-friendly bias with Otsu as a sanity bound.
 	var valleyLog float64
 	var ok bool
-	switch e.cfg.Valley {
+	switch a.Valley {
 	case ValleyOtsu:
 		valleyLog, ok = h.OtsuThreshold()
 	case ValleyRegression:
@@ -64,21 +100,34 @@ func (e *engine) adjustThreshold(logSims []float64, starved bool) float64 {
 		if starved {
 			if reg, okR := h.Valley(); okR && (!ok || reg < valleyLog) {
 				valleyLog, ok = reg, true
-				e.tStable = false
+				a.stable = false
 			}
 		}
 	}
 	if !ok {
-		return 0
+		return 0, false
 	}
 	tHat := clampThreshold(math.Exp(valleyLog))
-	t := math.Exp(e.logT)
+	t := math.Exp(a.LogT)
 	// §4.6: approach t̂ at a conservative pace; stop when within 1%.
 	if math.Abs(t-tHat) < 0.01*tHat {
-		e.tStable = true
-		return tHat
+		if a.Sticky {
+			a.stable = true
+		}
+		return tHat, false
 	}
-	e.logT = math.Log(clampThreshold((t + tHat) / 2))
-	e.tMoved = true
-	return tHat
+	a.LogT = math.Log(clampThreshold((t + tHat) / 2))
+	return tHat, true
+}
+
+// adjustThreshold runs the engine's §4.6 pass and records whether the
+// threshold moved (the outer loop's termination looks at it).
+//
+//cluseq:deterministic
+func (e *engine) adjustThreshold(logSims []float64, starved bool) float64 {
+	valley, moved := e.thr.Adjust(logSims, starved)
+	if moved {
+		e.tMoved = true
+	}
+	return valley
 }

@@ -78,7 +78,7 @@ type Result struct {
 	MaxLateMs      float64 `json:"max_late_ms"`
 
 	// Routes breaks the run down by traffic class: "single", "batch",
-	// "reload". Overall merges the three latency histograms.
+	// "reload", "ingest". Overall merges the route latency histograms.
 	Routes  map[string]RouteStats `json:"routes"`
 	Overall RouteStats            `json:"overall"`
 
@@ -105,8 +105,8 @@ type routeSeries struct {
 
 func reduce(sc *Scenario, schedule []Request, samples []sample, wall time.Duration) *Result {
 	reg := obs.NewRegistry()
-	series := make(map[string]routeSeries, 3)
-	for _, kind := range []Kind{KindSingle, KindBatch, KindReload} {
+	series := make(map[string]routeSeries, 4)
+	for _, kind := range []Kind{KindSingle, KindBatch, KindReload, KindIngest} {
 		route := kind.Route()
 		series[route] = routeSeries{
 			requests: reg.Counter("loadgen_requests_total", "route", route),
@@ -165,7 +165,7 @@ func reduce(sc *Scenario, schedule []Request, samples []sample, wall time.Durati
 	// distribution is the exact merge of the route histograms.
 	overall, _ := histogram.New(0, sc.HistMaxMs, sc.HistBuckets)
 	var overallSum float64
-	for _, kind := range []Kind{KindSingle, KindBatch, KindReload} {
+	for _, kind := range []Kind{KindSingle, KindBatch, KindReload, KindIngest} {
 		route := kind.Route()
 		rs := series[route]
 		requests := rs.requests.Value()

@@ -52,8 +52,16 @@ type classifyBody struct {
 	Sequences []string `json:"sequences,omitempty"`
 }
 
+// ingestBody mirrors the server's IngestRequest JSON shape, again
+// without the internal/server import.
+type ingestBody struct {
+	Sequence  string   `json:"sequence,omitempty"`
+	Sequences []string `json:"sequences,omitempty"`
+}
+
 // classifyReply is the subset of the server's response the optional
-// validation pass reads.
+// validation pass reads; /v1/ingest answers the same index-aligned
+// "results" array, so one shape validates both.
 type classifyReply struct {
 	Results []json.RawMessage `json:"results"`
 }
@@ -124,6 +132,21 @@ func (r *Runner) fire(client *http.Client, sc *Scenario, seqs []string, req Requ
 	switch req.Kind {
 	case KindReload:
 		url = r.BaseURL + "/v1/models/reload"
+	case KindIngest:
+		ib := ingestBody{}
+		if req.Batch <= 1 {
+			ib.Sequence = seqs[req.Seq%len(seqs)]
+		} else {
+			ib.Sequences = make([]string, req.Batch)
+			for k := range ib.Sequences {
+				ib.Sequences[k] = seqs[(req.Seq+k)%len(seqs)]
+			}
+		}
+		var err error
+		if body, err = json.Marshal(ib); err != nil {
+			return sample{} // unreachable: the body is plain strings
+		}
+		url = r.BaseURL + "/v1/ingest"
 	default:
 		cb := classifyBody{Model: sc.Model}
 		if req.Kind == KindSingle {
@@ -148,6 +171,7 @@ func (r *Runner) fire(client *http.Client, sc *Scenario, seqs []string, req Requ
 	}
 	s := sample{status: resp.StatusCode}
 	if r.Validate && req.Kind != KindReload && resp.StatusCode == http.StatusOK {
+		// Both classify and ingest answer index-aligned results arrays.
 		var reply classifyReply
 		if decErr := json.NewDecoder(resp.Body).Decode(&reply); decErr != nil || len(reply.Results) != req.Batch {
 			s.badResp = true

@@ -19,6 +19,7 @@ type stubServer struct {
 	singles   int64
 	batches   int64
 	reloads   int64
+	ingests   int64
 	sequences int64
 }
 
@@ -49,6 +50,28 @@ func (s *stubServer) handler() http.Handler {
 			results[i] = map[string]any{"cluster": 0, "similarity": 1.2}
 		}
 		json.NewEncoder(w).Encode(map[string]any{"model": req.Model, "results": results})
+	})
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Sequence  string   `json:"sequence"`
+			Sequences []string `json:"sequences"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := len(req.Sequences)
+		if req.Sequence != "" {
+			n = 1
+		}
+		s.mu.Lock()
+		s.ingests++
+		s.mu.Unlock()
+		results := make([]map[string]any, n)
+		for i := range results {
+			results[i] = map[string]any{"status": "accepted", "cluster": 0, "similarity": 1.2}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"results": results, "accepted": n, "clusters": 1})
 	})
 	mux.HandleFunc("POST /v1/models/reload", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
@@ -227,5 +250,49 @@ func TestRunnerRequiresTarget(t *testing.T) {
 	bad.RatePerSec = 0
 	if _, err := (&Runner{BaseURL: "http://x"}).Run(bad); err == nil {
 		t.Fatal("invalid scenario should fail Run")
+	}
+}
+
+// TestRunIngestMix replays a scenario with ingest traffic against the
+// stub: the ingest route must appear in the result with zero errors,
+// batch validation must hold on ingest responses too, and the stub's
+// count must match the schedule's ingest share.
+func TestRunIngestMix(t *testing.T) {
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	sc := e2eScenario()
+	sc.Name = "stub-ingest"
+	sc.IngestFraction = 0.4
+	r := &Runner{BaseURL: ts.URL, Validate: true}
+	res, err := r.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantIngest int64
+	for _, req := range sc.Schedule() {
+		if req.Kind == KindIngest {
+			wantIngest++
+		}
+	}
+	if wantIngest == 0 {
+		t.Fatal("scenario scheduled no ingest requests")
+	}
+	ing, ok := res.Routes["ingest"]
+	if !ok {
+		t.Fatalf("no ingest route in result: %v", res.Routes)
+	}
+	if ing.Requests != wantIngest || ing.Errors != 0 {
+		t.Fatalf("ingest route = %+v, want %d requests, 0 errors", ing, wantIngest)
+	}
+	stub.mu.Lock()
+	got := stub.ingests
+	stub.mu.Unlock()
+	if got != wantIngest {
+		t.Fatalf("stub saw %d ingests, schedule carried %d", got, wantIngest)
+	}
+	if res.ErrorRate != 0 {
+		t.Fatalf("error rate %v, want 0 (errors: %v)", res.ErrorRate, res.Errors)
 	}
 }

@@ -1,8 +1,9 @@
 // Package loadgen is the serving-side load harness: an open-loop
 // (Poisson-arrival) generator that drives a cluseqd instance with mixed
 // traffic — single classifications, batch classifications with a
-// configurable batch-size distribution, and periodic hot reloads under
-// fire — and reduces the observations into a deterministic JSON result
+// configurable batch-size distribution, streaming ingest (when the
+// target runs with -stream), and periodic hot reloads under fire — and
+// reduces the observations into a deterministic JSON result
 // that a CI gate can compare against a committed baseline.
 //
 // The package splits into four pieces so each is testable without a
@@ -76,6 +77,12 @@ type Scenario struct {
 	// BatchSizes is the batch-size distribution; required when
 	// BatchFraction > 0.
 	BatchSizes []BatchSize `json:"batch_sizes,omitempty"`
+	// IngestFraction is the probability that an arrival targets
+	// POST /v1/ingest instead of /v1/classify (drawn after the batch
+	// decision, so ingest requests follow the same batch-size mix). The
+	// target must run with -stream, or every ingest answers 503 and the
+	// error-rate gate fires.
+	IngestFraction float64 `json:"ingest_fraction,omitempty"`
 	// ReloadPeriodSec, when positive, fires POST /v1/models/reload
 	// every period during the arrival window — hot reload under fire.
 	ReloadPeriodSec float64 `json:"reload_period_sec,omitempty"`
@@ -129,6 +136,9 @@ func (sc *Scenario) Validate() error {
 		if total <= 0 {
 			return fmt.Errorf("loadgen: scenario %q: batch_fraction %v needs batch_sizes with positive weight", sc.Name, sc.BatchFraction)
 		}
+	}
+	if sc.IngestFraction < 0 || sc.IngestFraction > 1 {
+		return fmt.Errorf("loadgen: scenario %q: ingest_fraction %v outside [0, 1]", sc.Name, sc.IngestFraction)
 	}
 	if sc.ReloadPeriodSec < 0 {
 		return fmt.Errorf("loadgen: scenario %q: reload_period_sec must be ≥ 0, got %v", sc.Name, sc.ReloadPeriodSec)

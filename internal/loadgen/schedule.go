@@ -17,6 +17,9 @@ const (
 	KindBatch
 	// KindReload is a POST /v1/models/reload.
 	KindReload
+	// KindIngest is a POST /v1/ingest feeding the streaming engine; it
+	// carries a payload like the classify kinds (Batch sequences).
+	KindIngest
 )
 
 // Route returns the stable route label used in results and metrics.
@@ -26,6 +29,8 @@ func (k Kind) Route() string {
 		return "single"
 	case KindBatch:
 		return "batch"
+	case KindIngest:
+		return "ingest"
 	default:
 		return "reload"
 	}
@@ -80,6 +85,13 @@ func (sc *Scenario) schedule(rng *rand.Rand) []Request {
 		if sc.BatchFraction > 0 && rng.Float64() < sc.BatchFraction {
 			r.Kind = KindBatch
 			r.Batch = sc.drawBatchSize(rng)
+		}
+		// The ingest draw is guarded so a scenario without ingest traffic
+		// consumes no extra random numbers — pinned pre-ingest schedules
+		// stay bit-identical. An ingest arrival keeps the batch size it
+		// drew above, so ingest mixes single and batch payloads too.
+		if sc.IngestFraction > 0 && rng.Float64() < sc.IngestFraction {
+			r.Kind = KindIngest
 		}
 		reqs = append(reqs, r)
 	}

@@ -45,6 +45,8 @@ func TestScenarioValidation(t *testing.T) {
 		func(s *Scenario) { s.BatchFraction = 1.5 },
 		func(s *Scenario) { s.BatchSizes = nil }, // batch_fraction > 0 with no sizes
 		func(s *Scenario) { s.BatchSizes = []BatchSize{{Size: -1, Weight: 1}} },
+		func(s *Scenario) { s.IngestFraction = 1.5 },
+		func(s *Scenario) { s.IngestFraction = -0.1 },
 		func(s *Scenario) { s.ReloadPeriodSec = -1 },
 		func(s *Scenario) { s.MaxInflight = -3 },
 		func(s *Scenario) { s.HistBuckets = 2 },
@@ -157,5 +159,47 @@ func TestSequencesDeterministicAndInAlphabet(t *testing.T) {
 	sc.SeqPool = 64
 	if !reflect.DeepEqual(before, sc.Schedule()) {
 		t.Fatal("pool size must not perturb the arrival schedule")
+	}
+}
+
+// TestScheduleIngestMix checks the ingest draw: a zero fraction yields
+// no ingest requests (and, by the guarded draw, consumes no random
+// numbers — pre-ingest pinned schedules replay bit-identically), while
+// a positive fraction converts roughly that share of arrivals, keeping
+// the batch-size mix they drew.
+func TestScheduleIngestMix(t *testing.T) {
+	sc := testScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sc.Schedule() {
+		if r.Kind == KindIngest {
+			t.Fatal("ingest request scheduled with ingest_fraction 0")
+		}
+	}
+
+	sc.IngestFraction = 0.4
+	var ingests, ingestBatches, classifies int
+	for _, r := range sc.Schedule() {
+		switch r.Kind {
+		case KindIngest:
+			ingests++
+			if r.Batch != 1 && r.Batch != 4 && r.Batch != 16 {
+				t.Fatalf("ingest batch size %d not in the distribution", r.Batch)
+			}
+			if r.Batch > 1 {
+				ingestBatches++
+			}
+		case KindSingle, KindBatch:
+			classifies++
+		}
+	}
+	total := ingests + classifies
+	// Poisson(1000) arrivals at 0.4 ingest fraction: stay within ±5 σ.
+	if lo, hi := int(0.3*float64(total)), int(0.5*float64(total)); ingests < lo || ingests > hi {
+		t.Fatalf("ingests = %d of %d, want ≈ 40%%", ingests, total)
+	}
+	if ingestBatches == 0 {
+		t.Fatal("no batch-sized ingest arrivals; the batch mix should carry over")
 	}
 }

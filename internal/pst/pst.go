@@ -280,6 +280,8 @@ func (t *Tree) PruneEvents() int64 { return t.pruneEvents }
 // the tree in between — a Similarity, a Predict result — is still
 // exact. The clustering engine keys its (cluster, sequence) similarity
 // cache on this counter.
+//
+//cluseq:hotpath
 func (t *Tree) Version() uint64 { return t.version }
 
 // TotalSymbols returns the total number of symbols inserted.

@@ -2,6 +2,7 @@ package pst
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -22,6 +23,28 @@ import (
 // sparse at depth.
 
 var magic = []byte("PSTv1\n")
+
+// Clone returns a deep copy of the tree: identical configuration,
+// structure, and counts, sharing no mutable state with the original.
+// Implemented as a Save/Load round trip, so the copy is exactly the tree
+// a bundle reader would reconstruct — Similarity over the clone is
+// bit-identical to the original at the moment of cloning. The clone's
+// Version restarts (it is a fresh tree), so snapshots compiled from the
+// original do not validate against it. The streaming engine clones each
+// cluster tree at snapshot-publication time so the published classifier
+// is immutable while the live tree keeps absorbing the stream.
+func (t *Tree) Clone() *Tree {
+	var buf bytes.Buffer
+	if err := t.Save(&buf); err != nil {
+		// Save into a bytes.Buffer cannot fail with a well-formed tree.
+		panic(fmt.Sprintf("pst: cloning tree: %v", err))
+	}
+	nt, err := Load(&buf)
+	if err != nil {
+		panic(fmt.Sprintf("pst: reloading cloned tree: %v", err))
+	}
+	return nt
+}
 
 // Save writes the tree to w in the binary format.
 func (t *Tree) Save(w io.Writer) error {

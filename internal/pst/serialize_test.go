@@ -66,6 +66,37 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCloneIndependentAndBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 3))
+	orig := MustNew(Config{AlphabetSize: 8, MaxDepth: 5, Significance: 2})
+	for i := 0; i < 20; i++ {
+		orig.Insert(randomSymbols(rng, 150, 8))
+	}
+	clone := orig.Clone()
+	bg := make([]float64, 8)
+	for i := range bg {
+		bg[i] = 1.0 / 8
+	}
+	probe := randomSymbols(rng, 200, 8)
+	a, b := orig.Similarity(probe, bg), clone.Similarity(probe, bg)
+	if a != b {
+		t.Fatalf("clone similarity differs: %+v vs %+v", a, b)
+	}
+	if clone.NumNodes() != orig.NumNodes() {
+		t.Fatalf("clone NumNodes = %d, want %d", clone.NumNodes(), orig.NumNodes())
+	}
+	// Mutating the original must not leak into the clone.
+	before := clone.Similarity(probe, bg)
+	nodesBefore := clone.NumNodes()
+	orig.Insert(probe)
+	if got := clone.Similarity(probe, bg); got != before {
+		t.Fatalf("clone changed after original mutation: %+v vs %+v", got, before)
+	}
+	if clone.NumNodes() != nodesBefore {
+		t.Fatal("clone node count changed after original mutation")
+	}
+}
+
 func TestSaveDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewPCG(9, 9))
 	tree := MustNew(Config{AlphabetSize: 5, MaxDepth: 4, Significance: 2})

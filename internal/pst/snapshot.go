@@ -333,6 +333,8 @@ func (s *Snapshot) Tree() *Tree { return s.tree }
 // compiled from this very tree and the tree has not mutated since. This
 // is the same version-stamp rule that makes the engine's similarity
 // cache exact (see Tree.Version).
+//
+//cluseq:hotpath
 func (s *Snapshot) Valid(t *Tree) bool {
 	return s != nil && s.tree == t && s.version == t.Version()
 }

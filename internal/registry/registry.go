@@ -41,18 +41,29 @@ const Ext = ".cluseq"
 
 // Model is one loaded classifier bundle. Immutable after load.
 type Model struct {
-	// Name is the bundle filename without the .cluseq extension.
+	// Name is the bundle filename without the .cluseq extension, or the
+	// name a published model was registered under.
 	Name string
-	// Path is the file the bundle was loaded from.
+	// Path is the file the bundle was loaded from; empty for published
+	// (in-memory) models.
 	Path string
 	// Classifier is the loaded model; safe for concurrent use.
 	Classifier *core.Classifier
-	// LoadedAt is when this version of the bundle was loaded.
+	// LoadedAt is when this version of the bundle was loaded or published.
 	LoadedAt time.Time
 	// Size and ModTime fingerprint the file version backing this model;
-	// Reload skips files whose fingerprint is unchanged.
+	// Reload skips files whose fingerprint is unchanged. Zero for
+	// published models.
 	Size    int64
 	ModTime time.Time
+	// Published marks a model installed through Publish rather than
+	// loaded from a bundle file. Published models own their name: Reload
+	// carries them over and a same-named bundle file does not replace
+	// them.
+	Published bool
+	// Version is the publisher's monotonically increasing snapshot
+	// version; zero for file-loaded models.
+	Version uint64
 }
 
 // Registry is a hot-reloadable collection of named models. Construct
@@ -72,6 +83,7 @@ type Registry struct {
 	kept         *obs.Counter // bundles carried over unchanged
 	removed      *obs.Counter // bundles dropped because their file vanished
 	loadFailures *obs.Counter // individual bundles that failed to load
+	published    *obs.Counter // Publish calls (snapshot installs)
 	models       *obs.Gauge   // models in the current snapshot
 }
 
@@ -90,6 +102,7 @@ func (r *Registry) Instrument(reg *obs.Registry) {
 	r.kept = reg.Counter("cluseq_registry_models_kept_total")
 	r.removed = reg.Counter("cluseq_registry_models_removed_total")
 	r.loadFailures = reg.Counter("cluseq_registry_load_failures_total")
+	r.published = reg.Counter("cluseq_registry_published_total")
 	r.models = reg.Gauge("cluseq_registry_models")
 	r.models.Set(float64(r.Len()))
 }
@@ -151,6 +164,47 @@ func (r *Registry) Len() int { return len(*r.snap.Load()) }
 // Generation returns the number of completed load passes.
 func (r *Registry) Generation() uint64 { return r.generation.Load() }
 
+// Publish installs (or replaces) an in-memory model under name with a
+// single snapshot swap — the streaming engine's path into the serving
+// surface. The classifier must be immutable (the stream engine
+// publishes deep clones); readers holding the previous version keep it
+// until their requests finish, exactly as with file reloads. version is
+// the publisher's monotonically increasing snapshot version, surfaced
+// in the model listing.
+//
+// Published models own their name: Reload carries them over, and a
+// bundle file of the same name is reported as failed rather than
+// replacing the live stream model.
+func (r *Registry) Publish(name string, clf *core.Classifier, version uint64) error {
+	if name == "" {
+		return fmt.Errorf("registry: Publish needs a name")
+	}
+	if clf == nil {
+		return fmt.Errorf("registry: Publish needs a classifier")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.snap.Load()
+	if prev, ok := old[name]; ok && !prev.Published {
+		return fmt.Errorf("registry: name %q is owned by bundle file %s", name, prev.Path)
+	}
+	next := make(map[string]*Model, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = &Model{
+		Name:       name,
+		Classifier: clf,
+		LoadedAt:   time.Now(),
+		Published:  true,
+		Version:    version,
+	}
+	r.snap.Store(&next)
+	r.published.Inc()
+	r.models.Set(float64(len(next)))
+	return nil
+}
+
 // Reload rescans the directory: new and changed bundles are loaded,
 // unchanged ones carried over, and models whose files vanished dropped —
 // all installed as one atomic snapshot swap. A changed file that fails
@@ -171,12 +225,25 @@ func (r *Registry) Reload() (Report, error) {
 	}
 	old := *r.snap.Load()
 	next := make(map[string]*Model, len(entries))
+	// Published (in-memory) models are not backed by files; carry them
+	// over first so the directory scan below cannot clobber or drop a
+	// live stream model.
+	for name, m := range old {
+		if m.Published {
+			next[name] = m
+			rep.Kept = append(rep.Kept, name)
+		}
+	}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), Ext) {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), Ext)
 		if name == "" {
+			continue
+		}
+		if m, ok := next[name]; ok && m.Published {
+			rep.fail(name, fmt.Errorf("name %q is owned by a published stream model; rename the bundle file", name))
 			continue
 		}
 		path := filepath.Join(r.dir, e.Name())

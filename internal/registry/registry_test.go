@@ -317,3 +317,78 @@ func TestConcurrentGetAndReload(t *testing.T) {
 		t.Fatalf("generation %d, want ≥ 21", gen)
 	}
 }
+
+func TestPublishInstallsAndSurvivesReload(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "file", makeClassifier(t, "abab"))
+	r, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clf := makeClassifier(t, "cdcdcdcd")
+	if err := r.Publish("live", clf, 3); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	m, ok := r.Get("live")
+	if !ok || !m.Published || m.Version != 3 || m.Classifier != clf {
+		t.Fatalf("published model = %+v, ok=%v", m, ok)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+
+	// A reload must carry the published model over, untouched.
+	rep, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, ok := r.Get("live")
+	if !ok || m2 != m {
+		t.Fatalf("published model lost or replaced across Reload (report %+v)", rep)
+	}
+
+	// Republishing bumps the version atomically.
+	clf2 := makeClassifier(t, "cdcd")
+	if err := r.Publish("live", clf2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m3, _ := r.Get("live"); m3.Version != 4 || m3.Classifier != clf2 {
+		t.Fatalf("republish did not install: %+v", m3)
+	}
+}
+
+func TestPublishNameConflicts(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "file", makeClassifier(t, "abab"))
+	r, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A published model may not steal a file-backed name…
+	if err := r.Publish("file", makeClassifier(t, "cdcd"), 1); err == nil {
+		t.Fatal("Publish over a file-backed model succeeded")
+	}
+	// …and a bundle file may not steal a published name: the file is
+	// reported failed, the live model stays.
+	if err := r.Publish("live", makeClassifier(t, "cdcd"), 1); err != nil {
+		t.Fatal(err)
+	}
+	writeBundle(t, dir, "live", makeClassifier(t, "abab"))
+	rep, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, clash := rep.Failed["live"]; !clash {
+		t.Fatalf("same-named bundle not reported failed: %+v", rep)
+	}
+	if m, ok := r.Get("live"); !ok || !m.Published {
+		t.Fatal("published model displaced by bundle file")
+	}
+	if err := r.Publish("", makeClassifier(t, "abab"), 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.Publish("x", nil, 1); err == nil {
+		t.Fatal("nil classifier accepted")
+	}
+}

@@ -21,6 +21,9 @@ type metrics struct {
 	latency   *obs.Histogram // classify latency, milliseconds (legacy JSON shape)
 	inflight  *obs.Gauge     // requests currently inside a handler
 	batchSize *obs.Histogram // sequences per classify request
+
+	ingestLatency *obs.Histogram // ingest request latency, milliseconds
+	ingestBatch   *obs.Histogram // sequences per ingest request
 }
 
 // latencyDomainMs bounds the latency histogram; slower requests clamp
@@ -45,6 +48,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 		inflight: reg.Gauge("cluseqd_inflight_requests"),
 		// 256 buckets of width 4 over [0, 1024), the default MaxBatch.
 		batchSize: reg.Histogram("cluseqd_classify_batch_size", 0, 1024, 256),
+		// Ingest mirrors the classify shapes so dashboards can overlay
+		// the two request kinds.
+		ingestLatency: reg.Histogram("cluseqd_ingest_latency_ms", 0, latencyDomainMs, 400),
+		ingestBatch:   reg.Histogram("cluseqd_ingest_batch_size", 0, 1024, 256),
 	}
 }
 

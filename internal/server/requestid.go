@@ -85,6 +85,10 @@ func routeOf(path string) string {
 		return "models"
 	case "/v1/models/reload":
 		return "reload"
+	case "/v1/ingest":
+		return "ingest"
+	case "/v1/ingest/stats":
+		return "ingest_stats"
 	case "/healthz":
 		return "healthz"
 	case "/readyz":

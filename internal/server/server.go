@@ -7,6 +7,10 @@
 //	POST /v1/classify       classify one sequence or a batch against a model
 //	GET  /v1/models         list loaded models with parameters and tree sizes
 //	POST /v1/models/reload  rescan the model directory (atomic hot reload)
+//	POST /v1/ingest         feed one sequence or a batch into the streaming
+//	                        clustering engine (requires -stream; per-item
+//	                        accept / new-cluster / reject verdicts)
+//	GET  /v1/ingest/stats   streaming engine counters, threshold, drift
 //	GET  /healthz           liveness (always 200 while the process serves)
 //	GET  /readyz            readiness (200 once ≥ 1 model is loaded, else 503)
 //	GET  /metrics           JSON counters: requests, errors, per-model
@@ -36,6 +40,7 @@ import (
 	"cluseq/internal/obs"
 	"cluseq/internal/pool"
 	"cluseq/internal/registry"
+	"cluseq/internal/stream"
 )
 
 // Config parameterizes New.
@@ -70,6 +75,13 @@ type Config struct {
 	// and asserts the latency-regression comparator fires (see
 	// benchmarks/README.md). Never set it in production.
 	ClassifyDelay time.Duration
+	// Stream, when non-nil, enables POST /v1/ingest and
+	// GET /v1/ingest/stats against the given incremental clustering
+	// engine. The engine publishes its snapshots into Registry itself
+	// (wire its Publish callback to Registry.Publish); the server only
+	// routes ingest traffic to it. Without it the ingest endpoints answer
+	// 503.
+	Stream *stream.Engine
 }
 
 // Server routes the API. Construct with New; safe for concurrent use.
@@ -81,6 +93,7 @@ type Server struct {
 	classifyDelay time.Duration
 	pool          *pool.Pool
 	metrics       *metrics
+	stream        *stream.Engine
 	logf          func(format string, args ...any)
 
 	// classifyHook, when non-nil, runs at the start of every classify
@@ -117,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 		classifyDelay: cfg.ClassifyDelay,
 		pool:          pool.New(cfg.Workers - 1),
 		metrics:       newMetrics(cfg.Obs),
+		stream:        cfg.Stream,
 		logf:          logf,
 	}
 	s.pool.Instrument(s.metrics.reg, "cluseqd_pool")
@@ -147,6 +161,8 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("POST /v1/classify", s.handleClassify)
 	api.HandleFunc("GET /v1/models", s.handleModels)
 	api.HandleFunc("POST /v1/models/reload", s.handleReload)
+	api.HandleFunc("POST /v1/ingest", s.handleIngest)
+	api.HandleFunc("GET /v1/ingest/stats", s.handleIngestStats)
 	var apiHandler http.Handler = api
 	if s.timeout > 0 {
 		// TimeoutHandler replies 503 and discards the handler's late

@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"cluseq/internal/core"
+	"cluseq/internal/datagen"
+	"cluseq/internal/eval"
+)
+
+// TestOnlineAccuracyWithinTenPercentOfBatch is the PR's quality gate:
+// on the same shuffled synthetic workload, the incremental engine's
+// final published model must label sequences at no worse than 90% of
+// the batch Cluster() Hungarian accuracy. Both sides are deterministic
+// (fixed seeds, fixed stream order), so this is a regression pin, not a
+// flaky statistical bound; the observed numbers are recorded in
+// EXPERIMENTS.md ("Online vs batch clustering").
+func TestOnlineAccuracyWithinTenPercentOfBatch(t *testing.T) {
+	db, err := datagen.SyntheticDB(datagen.SyntheticConfig{
+		NumSequences: 400,
+		AvgLength:    80,
+		AlphabetSize: 12,
+		NumClusters:  4,
+		OutlierFrac:  0.02,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatalf("SyntheticDB: %v", err)
+	}
+	order := rand.New(rand.NewPCG(42, 5)).Perm(db.Len())
+	shuffled := db.Subset(order)
+	labels := make([]string, shuffled.Len())
+	for i, s := range shuffled.Sequences {
+		labels[i] = s.Label
+	}
+
+	// Batch reference: the full iterate-to-convergence algorithm on the
+	// shuffled database, at the strongest configuration a sweep over
+	// {k, t} found for this workload (k=4, t=1.05 — see EXPERIMENTS.md).
+	res, err := core.Cluster(shuffled, core.Config{Seed: 5, InitialClusters: 4, SimilarityThreshold: 1.05})
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	batchRep, err := eval.Evaluate(res.PrimaryClustering(), labels)
+	if err != nil {
+		t.Fatalf("Evaluate batch: %v", err)
+	}
+
+	// Online: one pass over the identical arrival order, then label every
+	// sequence with the final consolidated snapshot — the model a serving
+	// reader would see.
+	var clf *core.Classifier
+	eng, err := New(Config{
+		Alphabet:         shuffled.Alphabet,
+		ConsolidateEvery: 64,
+		Publish:          func(c *core.Classifier, version uint64) { clf = c },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer eng.Close()
+	for _, s := range shuffled.Sequences {
+		eng.Ingest(s.Symbols)
+	}
+	eng.ConsolidateNow()
+	if clf == nil {
+		t.Fatal("stream never published a classifier")
+	}
+	assign := make([]int, shuffled.Len())
+	for i, s := range shuffled.Sequences {
+		assign[i] = clf.Classify(s.Symbols).Cluster
+	}
+	streamRep, err := eval.Evaluate(eval.FromAssignments(assign), labels)
+	if err != nil {
+		t.Fatalf("Evaluate stream: %v", err)
+	}
+
+	t.Logf("batch: accuracy %.4f over %d clusters; online: accuracy %.4f over %d clusters (%d published)",
+		batchRep.Accuracy, batchRep.NumClusters, streamRep.Accuracy, streamRep.NumClusters, eng.Stats().Clusters)
+	if streamRep.Accuracy < 0.9*batchRep.Accuracy {
+		t.Fatalf("online accuracy %.4f below 90%% of batch %.4f", streamRep.Accuracy, batchRep.Accuracy)
+	}
+}

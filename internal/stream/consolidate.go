@@ -1,0 +1,279 @@
+package stream
+
+import (
+	"sort"
+	"time"
+
+	"cluseq/internal/core"
+	"cluseq/internal/obs"
+	"cluseq/internal/pst"
+)
+
+// ConsolidateNow forces a consolidation pass immediately, regardless of
+// the count cadence — the server's drain path and tests use it to flush
+// a partial window. No-op on an engine that has ingested nothing since
+// the last pass.
+func (e *Engine) ConsolidateNow() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sinceConsol > 0 {
+		e.consolidateLocked()
+	}
+}
+
+// consolidateLocked runs one consolidation pass: merge covered clusters
+// and dissolve stillborn ones (§4.5 adapted to streaming evidence),
+// re-adjust the similarity threshold from the recent-similarity window
+// (§4.6), refresh the background distribution from the running symbol
+// counts, recompile every scoring snapshot, and publish a frozen
+// classifier. Caller holds e.mu.
+//
+//cluseq:deterministic
+func (e *Engine) consolidateLocked() {
+	e.sinceConsol = 0
+	e.consolidations++
+	e.met.consolidations.Inc()
+
+	sp := e.cfg.Tracer.Span("stream_merge", obs.Int64("pass", e.consolidations), obs.Int("clusters", len(e.clusters)))
+	start := time.Now() //cluseq:allow determinism: timestamp feeds the phase-seconds histogram only, never the clustering state
+	merged, dissolved := e.mergeAndDissolve()
+	e.met.mergeSeconds.ObserveSince(start)
+	sp.End(obs.Int("merged", merged), obs.Int("dissolved", dissolved))
+
+	sp = e.cfg.Tracer.Span("stream_threshold", obs.Int64("pass", e.consolidations))
+	tBefore := e.thr.Threshold()
+	valley := 0.0
+	if !e.cfg.FixedThreshold {
+		valley, _ = e.thr.Adjust(e.simRing[:e.simLen], false)
+	}
+	t := e.thr.Threshold()
+	// Drift is the threshold's per-consolidation movement: a stationary
+	// stream settles to ~0; sustained non-zero drift means the similarity
+	// distribution itself is moving.
+	e.lastDrift = t - tBefore
+	e.thresholds = append(e.thresholds, t)
+	if len(e.thresholds) > thresholdHistoryLen {
+		e.thresholds = e.thresholds[1:]
+	}
+	e.met.threshold.Set(t)
+	e.met.thresholdDrift.Set(e.lastDrift)
+	e.met.thresholdHistory.Observe(t)
+	sp.End(obs.Float("t", t), obs.Float("valley", valley), obs.Float("drift", e.lastDrift))
+
+	// Refresh the background from the running symbol counts, then
+	// recompile every snapshot against it (similarities are only
+	// comparable when snapshot and fallback scan share one background).
+	if e.totalSyms > 0 {
+		for s, c := range e.symCounts {
+			e.background[s] = float64(c) / float64(e.totalSyms)
+		}
+	}
+	for _, c := range e.clusters {
+		c.snap = c.tree.CompileSnapshot(e.background)
+	}
+
+	sp = e.cfg.Tracer.Span("stream_publish", obs.Int64("pass", e.consolidations))
+	published := e.publishLocked()
+	sp.End(obs.Bool("published", published), obs.Int64("version", int64(e.version)))
+
+	e.observeLocked()
+	if e.cfg.Logf != nil {
+		e.cfg.Logf("stream consolidation %d: %d clusters (-%d merged, -%d dissolved), t=%.4g (drift %+.3g), v%d",
+			e.consolidations, len(e.clusters), merged, dissolved, t, e.lastDrift, e.version)
+	}
+}
+
+// thresholdHistoryLen bounds the per-consolidation threshold history
+// kept for the stats endpoint.
+const thresholdHistoryLen = 64
+
+// mergeAndDissolve scans clusters smallest-first (ties: newest first,
+// matching the batch engine's §4.5 order) and, for each, either
+// dissolves it — still under MinClusterSize past the grace period — or
+// absorbs it into the first larger cluster whose threshold at least
+// MergeFraction of its reservoir clears. Merging sums the tree
+// statistics (pst.Tree.Merge), so the absorbed evidence keeps scoring.
+//
+//cluseq:deterministic
+func (e *Engine) mergeAndDissolve() (merged, dissolved int) {
+	if len(e.clusters) == 0 {
+		return 0, 0
+	}
+	idx := make([]int, len(e.clusters))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := e.clusters[idx[a]], e.clusters[idx[b]]
+		if ca.size != cb.size {
+			return ca.size < cb.size
+		}
+		return ca.id > cb.id // among equals, newer clusters go first
+	})
+	dropped := make([]bool, len(e.clusters))
+	for pos, ci := range idx {
+		c := e.clusters[ci]
+		if c.size < int64(e.cfg.MinClusterSize) && e.ingested-c.createdAt >= int64(e.cfg.DissolveAfter) {
+			dropped[ci] = true
+			dissolved++
+			e.dissolves++
+			e.met.dissolved.Inc()
+			continue
+		}
+		// Only clusters later in the scan (larger, or equal-size older)
+		// are absorption candidates, mirroring the batch consolidation's
+		// "other (larger) clusters".
+		for _, cj := range idx[pos+1:] {
+			if dropped[cj] {
+				continue
+			}
+			target := e.clusters[cj]
+			if e.coverage(c, target) >= e.cfg.MergeFraction {
+				if err := target.tree.Merge(c.tree); err != nil {
+					// Trees within one engine always share configuration; a
+					// mismatch would be a programming error worth surfacing.
+					panic(err)
+				}
+				target.size += c.size
+				for _, s := range c.reservoir {
+					e.pushReservoir(target, s)
+				}
+				dropped[ci] = true
+				merged++
+				e.merges++
+				e.met.merged.Inc()
+				break
+			}
+		}
+	}
+	if merged+dissolved == 0 {
+		return 0, 0
+	}
+	kept := e.clusters[:0]
+	for i, c := range e.clusters {
+		if !dropped[i] {
+			kept = append(kept, c)
+		}
+	}
+	// Clear the tail so dropped trees are collectable.
+	for i := len(kept); i < len(e.clusters); i++ {
+		e.clusters[i] = nil
+	}
+	e.clusters = kept
+	e.met.clusters.Set(float64(len(e.clusters)))
+	return merged, dissolved
+}
+
+// coverage is the fraction of c's reservoir that clears target's
+// threshold — the streaming stand-in for §4.5's member-overlap test,
+// since a stream engine holds no global membership sets.
+//
+//cluseq:deterministic
+func (e *Engine) coverage(c, target *scluster) float64 {
+	if len(c.reservoir) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, syms := range c.reservoir {
+		sim := clusterScore(target, e.background, syms)
+		if e.normLogSim(sim, len(syms)) >= e.thr.LogT {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(c.reservoir))
+}
+
+// publishLocked freezes the current clusters into a classifier and
+// hands it to the Publish callback. Trees are deep-cloned so the
+// published model is immutable while the live trees keep absorbing the
+// stream; reports whether a snapshot went out (an empty engine
+// publishes nothing — a classifier needs at least one cluster).
+//
+//cluseq:deterministic
+func (e *Engine) publishLocked() bool {
+	if e.cfg.Publish == nil || len(e.clusters) == 0 {
+		return false
+	}
+	trees := make([]*pst.Tree, len(e.clusters))
+	for i, c := range e.clusters {
+		trees[i] = c.tree.Clone()
+	}
+	clf, err := core.NewClassifierFromParts(trees, e.cfg.Alphabet, e.background, e.thr.Threshold(), e.cfg.RawSimilarity)
+	if err != nil {
+		// Unreachable with engine-built parts; surface loudly if not.
+		panic(err)
+	}
+	e.version++
+	e.met.published.Inc()
+	e.met.publishedVersion.Set(float64(e.version))
+	e.cfg.Publish(clf, e.version)
+	return true
+}
+
+// observeLocked refreshes the size gauges.
+func (e *Engine) observeLocked() {
+	nodes, bytes := 0, 0
+	for _, c := range e.clusters {
+		nodes += c.tree.NumNodes()
+		bytes += c.tree.EstimatedBytes()
+	}
+	e.met.clusters.Set(float64(len(e.clusters)))
+	e.met.pstNodes.Set(float64(nodes))
+	e.met.pstBytes.Set(float64(bytes))
+}
+
+// Stats is a point-in-time summary of the engine, shaped for the
+// daemon's /v1/ingest/stats endpoint.
+type Stats struct {
+	Ingested         int64     `json:"ingested"`
+	Accepted         int64     `json:"accepted"`
+	NewClusters      int64     `json:"new_clusters"`
+	Rejected         int64     `json:"rejected"`
+	Clusters         int       `json:"clusters"`
+	Consolidations   int64     `json:"consolidations"`
+	Merges           int64     `json:"merges"`
+	Dissolves        int64     `json:"dissolves"`
+	PublishedVersion uint64    `json:"published_version"`
+	Threshold        float64   `json:"threshold"`
+	LastDrift        float64   `json:"last_drift"`
+	PSTNodes         int       `json:"pst_nodes"`
+	PSTBytes         int       `json:"pst_bytes"`
+	ThresholdHistory []float64 `json:"threshold_history,omitempty"`
+}
+
+// Stats returns the engine's current counters and sizes.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		Ingested:         e.ingested,
+		Accepted:         e.accepted,
+		NewClusters:      e.created,
+		Rejected:         e.rejected,
+		Clusters:         len(e.clusters),
+		Consolidations:   e.consolidations,
+		Merges:           e.merges,
+		Dissolves:        e.dissolves,
+		PublishedVersion: e.version,
+		Threshold:        e.thr.Threshold(),
+		LastDrift:        e.lastDrift,
+		ThresholdHistory: append([]float64(nil), e.thresholds...),
+	}
+	for _, c := range e.clusters {
+		st.PSTNodes += c.tree.NumNodes()
+		st.PSTBytes += c.tree.EstimatedBytes()
+	}
+	return st
+}
+
+// ClusterIDs returns the live cluster IDs in creation order; tests use
+// it to assert model evolution without reaching into engine internals.
+func (e *Engine) ClusterIDs() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, len(e.clusters))
+	for i, c := range e.clusters {
+		out[i] = c.id
+	}
+	return out
+}

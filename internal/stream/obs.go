@@ -1,0 +1,61 @@
+package stream
+
+import "cluseq/internal/obs"
+
+// streamMetrics holds the engine's pre-registered metric handles. The
+// zero value (no registry) is all nil handles, which are no-ops, so the
+// ingest path never branches on "is obs enabled". Catalogue in
+// DESIGN.md §13.
+type streamMetrics struct {
+	ingested       *obs.Counter
+	accepted       *obs.Counter
+	newClusters    *obs.Counter
+	rejected       *obs.Counter
+	consolidations *obs.Counter
+	merged         *obs.Counter
+	dissolved      *obs.Counter
+	published      *obs.Counter
+
+	clusters         *obs.Gauge
+	pstNodes         *obs.Gauge
+	pstBytes         *obs.Gauge
+	threshold        *obs.Gauge
+	thresholdDrift   *obs.Gauge
+	publishedVersion *obs.Gauge
+
+	ingestSeconds    *obs.Histogram
+	mergeSeconds     *obs.Histogram
+	thresholdHistory *obs.Histogram
+}
+
+func newStreamMetrics(reg *obs.Registry) streamMetrics {
+	if reg == nil {
+		return streamMetrics{}
+	}
+	return streamMetrics{
+		ingested:       reg.Counter("cluseq_stream_ingested_total"),
+		accepted:       reg.Counter("cluseq_stream_accepted_total"),
+		newClusters:    reg.Counter("cluseq_stream_new_clusters_total"),
+		rejected:       reg.Counter("cluseq_stream_rejected_total"),
+		consolidations: reg.Counter("cluseq_stream_consolidations_total"),
+		merged:         reg.Counter("cluseq_stream_merged_total"),
+		dissolved:      reg.Counter("cluseq_stream_dissolved_total"),
+		published:      reg.Counter("cluseq_stream_published_total"),
+
+		clusters:         reg.Gauge("cluseq_stream_clusters"),
+		pstNodes:         reg.Gauge("cluseq_stream_pst_nodes"),
+		pstBytes:         reg.Gauge("cluseq_stream_pst_bytes"),
+		threshold:        reg.Gauge("cluseq_stream_threshold"),
+		thresholdDrift:   reg.Gauge("cluseq_stream_threshold_drift"),
+		publishedVersion: reg.Gauge("cluseq_stream_published_version"),
+
+		// One ingest is a handful of tree scans: [0, 100ms) at 0.5ms
+		// resolution covers even large cluster counts.
+		ingestSeconds: reg.Histogram("cluseq_stream_ingest_seconds", 0, 0.1, 200),
+		// A merge pass scores every reservoir pair: [0, 5s) at 10ms.
+		mergeSeconds: reg.Histogram("cluseq_stream_merge_seconds", 0, 5, 500),
+		// Thresholds land near 1; [0, 10) at 0.05 keeps the history
+		// readable as a distribution over consolidations.
+		thresholdHistory: reg.Histogram("cluseq_stream_threshold_history", 0, 10, 200),
+	}
+}

@@ -1,0 +1,273 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"cluseq/internal/core"
+	"cluseq/internal/datagen"
+	"cluseq/internal/seq"
+)
+
+// streamTestConfig tunes the engine for the planted datagen workload the
+// tests replay: small alphabet, shallow trees, fixed significance — the
+// same regime the CLI e2e uses for synthetic data.
+func streamTestConfig(t *testing.T, alphabet *seq.Alphabet) Config {
+	t.Helper()
+	return Config{
+		Alphabet:            alphabet,
+		SimilarityThreshold: 1.05,
+		MaxDepth:            5,
+		Significance:        12,
+		FixedSignificance:   true,
+		ConsolidateEvery:    64,
+		Workers:             1,
+	}
+}
+
+// syntheticStream builds the shuffled labeled stream shared by the
+// determinism and accuracy tests.
+func syntheticStream(t *testing.T, n int) (*seq.Database, []int) {
+	t.Helper()
+	db, err := datagen.SyntheticDB(datagen.SyntheticConfig{
+		NumSequences: n,
+		AvgLength:    80,
+		AlphabetSize: 12,
+		NumClusters:  4,
+		OutlierFrac:  0.02,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatalf("SyntheticDB: %v", err)
+	}
+	order := rand.New(rand.NewPCG(99, 7)).Perm(db.Len())
+	return db, order
+}
+
+func TestIngestVerdicts(t *testing.T) {
+	alphabet := seq.MustAlphabet("abcd")
+	e, err := New(streamTestConfig(t, alphabet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	v := e.IngestString("abababab")
+	if v.Status != StatusNewCluster || v.Cluster != 0 {
+		t.Fatalf("first ingest = %+v, want new cluster 0", v)
+	}
+	// A repeat of the same pattern must join, not found a second cluster.
+	for i := 0; i < 10; i++ {
+		v = e.IngestString("abababababab")
+	}
+	if v.Status != StatusAccepted || v.Cluster != 0 {
+		t.Fatalf("repeat ingest = %+v, want accepted into 0", v)
+	}
+	// Invalid and empty inputs are per-item rejections.
+	if v := e.IngestString("abzz"); v.Status != StatusRejected || v.Cluster != -1 || v.Reason == "" {
+		t.Fatalf("invalid-rune ingest = %+v, want rejection with reason", v)
+	}
+	if v := e.Ingest(nil); v.Status != StatusRejected {
+		t.Fatalf("empty ingest = %+v, want rejection", v)
+	}
+	st := e.Stats()
+	if st.Ingested != 13 || st.Rejected != 2 || st.Clusters == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIngestBatchIndexAligned(t *testing.T) {
+	alphabet := seq.MustAlphabet("abcd")
+	e, err := New(streamTestConfig(t, alphabet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	batch := []string{"abababab", "", "abababab", "qqq", "cdcdcdcd"}
+	out := e.IngestStrings(batch)
+	if len(out) != len(batch) {
+		t.Fatalf("got %d verdicts for %d items", len(out), len(batch))
+	}
+	// The invalid items sit at fixed indices; their verdicts must too.
+	if out[1].Status != StatusRejected || out[3].Status != StatusRejected {
+		t.Fatalf("rejections misaligned: %+v", out)
+	}
+	if out[0].Status != StatusNewCluster || out[2].Status != StatusAccepted {
+		t.Fatalf("valid items misplaced: %+v", out)
+	}
+	if out[4].Status != StatusNewCluster {
+		t.Fatalf("distinct pattern should found a cluster: %+v", out[4])
+	}
+}
+
+func TestConsolidationMergesDuplicates(t *testing.T) {
+	alphabet := seq.MustAlphabet("abcd")
+	cfg := streamTestConfig(t, alphabet)
+	cfg.ConsolidateEvery = 1000 // manual consolidation only
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Force two clusters over one pattern by seeding them directly, then
+	// feed members; consolidation must collapse them.
+	rng := rand.New(rand.NewPCG(3, 3))
+	gen := func() string {
+		b := make([]byte, 40)
+		for i := range b {
+			if rng.IntN(4) == 0 {
+				b[i] = "abcd"[rng.IntN(2)]
+			} else if i%2 == 0 {
+				b[i] = 'a'
+			} else {
+				b[i] = 'b'
+			}
+		}
+		return string(b)
+	}
+	for i := 0; i < 80; i++ {
+		e.IngestString(gen())
+	}
+	before := e.Stats().Clusters
+	e.ConsolidateNow()
+	after := e.Stats().Clusters
+	if after > before {
+		t.Fatalf("consolidation grew clusters: %d -> %d", before, after)
+	}
+	if after == 0 {
+		t.Fatal("consolidation dissolved everything")
+	}
+	if e.Stats().Consolidations != 1 {
+		t.Fatalf("consolidations = %d, want 1", e.Stats().Consolidations)
+	}
+}
+
+func TestPublishVersionsMonotonic(t *testing.T) {
+	alphabet := seq.MustAlphabet("abcd")
+	cfg := streamTestConfig(t, alphabet)
+	cfg.ConsolidateEvery = 8
+	var versions []uint64
+	var lastClf *core.Classifier
+	cfg.Publish = func(clf *core.Classifier, version uint64) {
+		versions = append(versions, version)
+		lastClf = clf
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	for i := 0; i < 33; i++ {
+		if i%2 == 0 {
+			e.IngestString("abababababab")
+		} else {
+			e.IngestString("cdcdcdcdcdcd")
+		}
+	}
+	if len(versions) == 0 {
+		t.Fatal("no snapshots published")
+	}
+	for i := 1; i < len(versions); i++ {
+		if versions[i] != versions[i-1]+1 {
+			t.Fatalf("versions not consecutive: %v", versions)
+		}
+	}
+	if lastClf == nil || lastClf.NumClusters() == 0 {
+		t.Fatal("published classifier is empty")
+	}
+	// The published model must keep working while the engine mutates —
+	// it is a frozen clone, not a view.
+	frozen := lastClf
+	a1, err := frozen.ClassifyString("abababababab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		e.IngestString("abababababab")
+	}
+	a2, err := frozen.ClassifyString("abababababab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Cluster != a2.Cluster || a1.Similarity != a2.Similarity {
+		t.Fatalf("published classifier changed under ingest: %+v vs %+v", a1, a2)
+	}
+	if st := e.Stats(); st.PublishedVersion != versions[len(versions)-1] {
+		t.Fatalf("stats version %d != last published %d", st.PublishedVersion, versions[len(versions)-1])
+	}
+}
+
+// modelBytes serializes every live cluster tree (in creation order) so
+// two engines' final models can be compared bit-for-bit.
+func modelBytes(t *testing.T, e *Engine) []byte {
+	t.Helper()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var buf bytes.Buffer
+	for _, c := range e.clusters {
+		if err := c.tree.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	db, order := syntheticStream(t, 300)
+
+	run := func(workers int) ([]byte, []Verdict, Stats) {
+		cfg := streamTestConfig(t, db.Alphabet)
+		cfg.Workers = workers
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		verdicts := make([]Verdict, 0, len(order))
+		for _, i := range order {
+			verdicts = append(verdicts, e.Ingest(db.Sequences[i].Symbols))
+		}
+		e.ConsolidateNow()
+		return modelBytes(t, e), verdicts, e.Stats()
+	}
+
+	m1, v1, s1 := run(1)
+	m8, v8, s8 := run(8)
+	if !bytes.Equal(m1, m8) {
+		t.Fatalf("final models differ between Workers=1 (%d bytes) and Workers=8 (%d bytes)", len(m1), len(m8))
+	}
+	for i := range v1 {
+		if v1[i] != v8[i] {
+			t.Fatalf("verdict %d differs: %+v vs %+v", i, v1[i], v8[i])
+		}
+	}
+	if s1.Clusters != s8.Clusters || s1.Accepted != s8.Accepted ||
+		s1.NewClusters != s8.NewClusters || s1.Rejected != s8.Rejected ||
+		s1.Merges != s8.Merges || s1.Dissolves != s8.Dissolves ||
+		s1.Threshold != s8.Threshold || s1.PSTNodes != s8.PSTNodes {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s8)
+	}
+}
+
+func TestDeterminismSameSeedSameModel(t *testing.T) {
+	db, order := syntheticStream(t, 200)
+	run := func() []byte {
+		cfg := streamTestConfig(t, db.Alphabet)
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for _, i := range order {
+			e.Ingest(db.Sequences[i].Symbols)
+		}
+		return modelBytes(t, e)
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("two identical replays produced different models")
+	}
+}
