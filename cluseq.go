@@ -148,8 +148,12 @@ func NewClassifier(db *Database, res *Result, opts Options) (*Classifier, error)
 }
 
 // LoadClassifier reads a model bundle previously written with
-// Classifier.Save.
+// Classifier.Save or Classifier.SaveBundle.
 func LoadClassifier(r io.Reader) (*Classifier, error) { return core.LoadClassifier(r) }
+
+// BundleOptions parameterizes Classifier.SaveBundle (format v3, the
+// mmap-able arena layout — see DESIGN.md §14).
+type BundleOptions = core.BundleOptions
 
 // ModelInfo summarizes a classifier's parameters and per-cluster trees
 // (see Classifier.Info).
@@ -238,11 +242,21 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // owns w and should check Tracer.Err once tracing is done.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 
-// OpenModelRegistry scans dir and loads every model bundle in it. The
+// OpenModelRegistry scans dir and loads every model bundle in it,
+// serving v3 bundles zero-copy from memory maps of the files. The
 // report lists what loaded and what failed; the call errors only when
 // the directory itself is unreadable.
 func OpenModelRegistry(dir string) (*ModelRegistry, ReloadReport, error) {
 	return registry.Open(dir)
+}
+
+// RegistryOptions configures OpenModelRegistryWith; the zero value
+// disables mmap and loads every bundle by copying.
+type RegistryOptions = registry.Options
+
+// OpenModelRegistryWith is OpenModelRegistry with explicit options.
+func OpenModelRegistryWith(dir string, opts RegistryOptions) (*ModelRegistry, ReloadReport, error) {
+	return registry.OpenWith(dir, opts)
 }
 
 // NewServer returns the serving daemon's HTTP layer over a registry.

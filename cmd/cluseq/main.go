@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"text/tabwriter"
 
 	"cluseq"
@@ -45,11 +46,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		verbose     = fs.Bool("v", false, "log per-iteration progress to stderr")
 		idsOnly     = fs.Bool("ids", false, "print only cluster member IDs, one cluster per line")
 		model       = fs.String("model", "", "write the trained cluster models to this file (for cmd/classify)")
+		bundleFmt   = fs.String("bundle-format", "v3", "model bundle format: v3 (mmap-able arena layout) or v2 (tree serialization)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
 		traceOut    = fs.String("trace-out", "", "write phase spans and a final metrics snapshot as JSON Lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *bundleFmt != "v2" && *bundleFmt != "v3" {
+		fmt.Fprintln(stderr, "cluseq: -bundle-format must be v2 or v3")
 		return 2
 	}
 
@@ -135,7 +141,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *model != "" {
-		if err := saveModel(db, res, opts, *model); err != nil {
+		if err := saveModel(db, res, opts, *model, *bundleFmt); err != nil {
 			fmt.Fprintln(stderr, "cluseq:", err)
 			return 1
 		}
@@ -180,20 +186,38 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func saveModel(db *cluseq.Database, res *cluseq.Result, opts cluseq.Options, path string) error {
+// saveModel writes the bundle atomically (temp file + rename): a serving
+// daemon may be memory-mapping the previous version of this file, and an
+// in-place rewrite would mutate pages under its readers.
+func saveModel(db *cluseq.Database, res *cluseq.Result, opts cluseq.Options, path, format string) error {
 	clf, err := cluseq.NewClassifier(db, res, opts)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp")
 	if err != nil {
 		return err
 	}
-	if err := clf.Save(f); err != nil {
+	if format == "v2" {
+		err = clf.Save(f)
+	} else {
+		err = clf.SaveBundle(f, cluseq.BundleOptions{})
+	}
+	if err == nil {
+		err = f.Close()
+	} else {
 		f.Close()
+	}
+	if err != nil {
+		os.Remove(f.Name())
 		return err
 	}
-	return f.Close()
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }
 
 func printIDs(w io.Writer, db *cluseq.Database, res *cluseq.Result) {

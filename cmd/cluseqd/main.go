@@ -3,19 +3,29 @@
 // sequences against them over HTTP, with atomic hot reload of retrained
 // bundles and graceful drain on shutdown.
 //
+// Format-v3 bundles are served zero-copy from memory maps of the model
+// files (disable with -mmap=false); v1/v2 bundles load by copying.
+// Either way a reload is one atomic snapshot swap and the old mapping
+// is released only after its last in-flight reader finishes. Bundle
+// files must therefore be replaced atomically (temp file + rename),
+// which cluseq -model and -stream-persist both do.
+//
 // With -stream the daemon additionally runs an incremental clustering
 // engine: POST /v1/ingest feeds it sequences, and every consolidation
 // publishes a frozen snapshot into the registry under -stream-model, so
 // /v1/classify serves the evolving stream model next to the file-loaded
-// bundles.
+// bundles. With -stream-persist DIR each published snapshot is also
+// written (asynchronously, atomically) to DIR, and a restarted daemon
+// resumes the stream model — clusters, threshold, version counter —
+// from the last persisted snapshot.
 //
 // Usage:
 //
 //	cluseqd -models DIR [-addr :8080] [-timeout 30s] [-max-batch 1024]
-//	        [-workers N] [-drain 10s] [-pprof] [-v]
+//	        [-workers N] [-drain 10s] [-pprof] [-mmap=false] [-v]
 //	        [-stream -stream-alphabet SYMS [-stream-model NAME]
 //	         [-stream-threshold T] [-stream-consolidate N]
-//	         [-stream-flush D]] [-trace-out FILE]
+//	         [-stream-flush D] [-stream-persist DIR]] [-trace-out FILE]
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -45,6 +55,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -72,6 +83,7 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 		drain     = fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight requests")
 		verbose   = fs.Bool("v", false, "log per-request refusals and reloads")
 		withPprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints leak internals)")
+		useMmap   = fs.Bool("mmap", true, "serve v3 model bundles zero-copy from memory-mapped files (bundle rewrites must be atomic: temp file + rename)")
 		slow      = fs.Duration("slow-classify", 0, "inject an artificial delay into every classify request (load-harness testing aid; never set in production)")
 
 		streamOn    = fs.Bool("stream", false, "enable the incremental clustering engine and POST /v1/ingest")
@@ -80,6 +92,7 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 		streamThr   = fs.Float64("stream-threshold", 0, "initial similarity threshold t for the streaming engine (0 = default)")
 		streamEvery = fs.Int("stream-consolidate", 0, "streaming consolidation cadence in ingests (0 = default)")
 		streamFlush = fs.Duration("stream-flush", 0, "also consolidate an idle stream on this wall-clock interval (0 = off)")
+		streamDir   = fs.String("stream-persist", "", "persist each published stream snapshot into this directory and resume from it on restart (keep it outside -models; the published name owns the registry slot)")
 		traceOut    = fs.String("trace-out", "", "append JSONL phase spans (streaming consolidation) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -93,7 +106,7 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(stderr, format+"\n", args...)
 	}
-	reg, rep, err := cluseq.OpenModelRegistry(*models)
+	reg, rep, err := cluseq.OpenModelRegistryWith(*models, cluseq.RegistryOptions{Mmap: *useMmap})
 	if err != nil {
 		fmt.Fprintln(stderr, "cluseqd:", err)
 		return 1
@@ -134,17 +147,58 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 			return 1
 		}
 		name := *streamModel
+		// Durability: resume from the last persisted snapshot (serving it
+		// immediately, before the first consolidation), and persist every
+		// published snapshot asynchronously so a slow disk never stalls an
+		// ingest. A corrupt or mismatched persisted bundle logs and starts
+		// the stream fresh rather than keeping the daemon down.
+		var (
+			resume  *cluseq.Classifier
+			persist *persister
+		)
+		if *streamDir != "" {
+			if err := os.MkdirAll(*streamDir, 0o755); err != nil {
+				fmt.Fprintln(stderr, "cluseqd:", err)
+				return 1
+			}
+			path := filepath.Join(*streamDir, name+cluseq.ModelBundleExt)
+			if f, err := os.Open(path); err == nil {
+				clf, lerr := cluseq.LoadClassifier(f)
+				f.Close()
+				if lerr != nil {
+					logf("cluseqd: persisted stream model %s unusable (%v), starting fresh", path, lerr)
+				} else {
+					resume = clf
+					if perr := reg.Publish(name, clf, clf.PublishedVersion()); perr != nil {
+						fmt.Fprintln(stderr, "cluseqd:", perr)
+						return 1
+					}
+					logf("cluseqd: resumed stream model %q v%d from %s", name, clf.PublishedVersion(), path)
+				}
+			} else if !os.IsNotExist(err) {
+				fmt.Fprintln(stderr, "cluseqd:", err)
+				return 1
+			}
+			persist = newPersister(path, logf)
+			defer persist.stop()
+		}
 		eng, err = cluseq.NewStreamEngine(cluseq.StreamOptions{
 			Alphabet:            alpha,
 			SimilarityThreshold: *streamThr,
 			ConsolidateEvery:    *streamEvery,
 			FlushInterval:       *streamFlush,
 			Workers:             *workers,
+			Resume:              resume,
 			// Each consolidation's frozen snapshot goes straight into the
-			// serving registry: one atomic swap, readers never blocked.
+			// serving registry: one atomic swap, readers never blocked. The
+			// persister gets the same snapshot through its non-blocking
+			// mailbox.
 			Publish: func(clf *cluseq.Classifier, version uint64) {
 				if err := reg.Publish(name, clf, version); err != nil {
 					logf("cluseqd: publishing stream model %s v%d: %v", name, version, err)
+				}
+				if persist != nil {
+					persist.offer(clf, version)
 				}
 			},
 			Obs:    met,
@@ -220,7 +274,14 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil {
+	err = httpSrv.Shutdown(ctx)
+	if eng != nil {
+		// Flush the partial consolidation window so the final snapshot —
+		// including the stream's tail — is published and persisted before
+		// the deferred engine close and persister stop run.
+		eng.ConsolidateNow()
+	}
+	if err != nil {
 		// Drain deadline expired with requests still in flight.
 		httpSrv.Close()
 		fmt.Fprintln(stderr, "cluseqd: forced shutdown:", err)

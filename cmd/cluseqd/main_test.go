@@ -547,3 +547,126 @@ func TestDaemonStreamingEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonStreamPersistResume pins stream durability end to end: a
+// daemon with -stream-persist writes its published snapshots to disk,
+// and a restarted daemon serves the stream model immediately and keeps
+// ingesting with version continuity.
+func TestDaemonStreamPersistResume(t *testing.T) {
+	db, err := datagen.SyntheticDB(datagen.SyntheticConfig{
+		NumSequences: 200,
+		AvgLength:    80,
+		AlphabetSize: 12,
+		NumClusters:  3,
+		Seed:         23,
+	})
+	if err != nil {
+		t.Fatalf("SyntheticDB: %v", err)
+	}
+	modelsDir, persistDir := t.TempDir(), t.TempDir()
+	streamArgs := []string{
+		"-models", modelsDir,
+		"-stream", "-stream-alphabet", db.Alphabet.String(),
+		"-stream-threshold", "1.05", "-stream-consolidate", "32",
+		"-stream-persist", persistDir, "-v",
+	}
+	ingest := func(base string, from, to int) {
+		t.Helper()
+		batch := make([]string, 0, to-from)
+		for _, s := range db.Sequences[from:to] {
+			batch = append(batch, db.Alphabet.Decode(s.Symbols))
+		}
+		resp, body := postJSON(t, base+"/v1/ingest", cluseq.IngestRequest{Sequences: batch})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest = %d: %s", resp.StatusCode, body)
+		}
+	}
+	stats := func(base string) cluseq.StreamStats {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/ingest/stats")
+		if err != nil {
+			t.Fatalf("GET /v1/ingest/stats: %v", err)
+		}
+		defer resp.Body.Close()
+		var st cluseq.StreamStats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("stats decode: %v", err)
+		}
+		return st
+	}
+	stop := func(sig chan os.Signal, done chan int, logs *bytes.Buffer) {
+		t.Helper()
+		sig <- os.Interrupt
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("daemon exit code %d: %s", code, logs.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+
+	// First life: ingest past a few consolidations, then drain.
+	base, sig, done, logs := startDaemon(t, streamArgs...)
+	ingest(base, 0, 150)
+	st1 := stats(base)
+	if st1.PublishedVersion == 0 || st1.Clusters == 0 {
+		t.Fatalf("first life never published: %+v", st1)
+	}
+	stop(sig, done, logs)
+
+	// The shutdown flush must have persisted a v3 bundle covering every
+	// ingest, including the tail past the last cadence consolidation.
+	path := filepath.Join(persistDir, "stream"+cluseq.ModelBundleExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("persisted bundle: %v", err)
+	}
+	persisted, err := cluseq.LoadClassifier(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("persisted bundle unreadable: %v", err)
+	}
+	if persisted.PublishedVersion() <= st1.PublishedVersion {
+		t.Fatalf("persisted version %d, want > %d (shutdown flush)", persisted.PublishedVersion(), st1.PublishedVersion)
+	}
+
+	// Second life: the stream model must be served before any ingest,
+	// at the persisted version, and ingest must continue from there.
+	base, sig, done, logs = startDaemon(t, streamArgs...)
+	if resp, err := http.Get(base + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz right after resume = %v, %v (want 200)", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	probe := db.Alphabet.Decode(db.Sequences[0].Symbols)
+	resp, body := postJSON(t, base+"/v1/classify", map[string]any{"model": "stream", "sequence": probe})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify on resumed model = %d: %s", resp.StatusCode, body)
+	}
+	st2 := stats(base)
+	if st2.PublishedVersion != persisted.PublishedVersion() || st2.Clusters != persisted.NumClusters() {
+		t.Fatalf("resumed stats %+v, want version %d clusters %d", st2, persisted.PublishedVersion(), persisted.NumClusters())
+	}
+	ingest(base, 150, 200)
+	stop(sig, done, logs)
+	if st3 := persistedVersion(t, path); st3 <= persisted.PublishedVersion() {
+		t.Fatalf("second life persisted version %d, want > %d", st3, persisted.PublishedVersion())
+	}
+	if !strings.Contains(logs.String(), "resumed stream model") {
+		t.Fatalf("logs missing resume line: %s", logs.String())
+	}
+}
+
+func persistedVersion(t *testing.T, path string) uint64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := cluseq.LoadClassifier(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf.PublishedVersion()
+}

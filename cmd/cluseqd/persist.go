@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+
+	"cluseq"
+)
+
+// persister durably saves published stream snapshots without ever
+// blocking the publisher: the engine's Publish callback runs under the
+// engine mutex, so offer only swaps the snapshot into a one-slot
+// mailbox (latest wins — intermediate versions a slow disk can't keep
+// up with are skipped, the newest is never lost) and a single
+// background goroutine does the file I/O. Writes are atomic (temp file
+// + rename) so a crash mid-write leaves the previous bundle intact and
+// a serving registry can mmap the file safely.
+type persister struct {
+	ch   chan persistReq
+	done chan struct{}
+	path string
+	logf func(format string, args ...any)
+}
+
+type persistReq struct {
+	clf     *cluseq.Classifier
+	version uint64
+}
+
+func newPersister(path string, logf func(format string, args ...any)) *persister {
+	p := &persister{
+		ch:   make(chan persistReq, 1),
+		done: make(chan struct{}),
+		path: path,
+		logf: logf,
+	}
+	go p.loop()
+	return p
+}
+
+// offer hands a snapshot to the persister, replacing any not-yet-written
+// predecessor. Never blocks; must not be called after stop.
+func (p *persister) offer(clf *cluseq.Classifier, version uint64) {
+	for {
+		select {
+		case p.ch <- persistReq{clf, version}:
+			return
+		default:
+			// Mailbox full: evict the stale snapshot and retry.
+			select {
+			case <-p.ch:
+			default:
+			}
+		}
+	}
+}
+
+// stop drains the mailbox — the final snapshot is written before return —
+// and ends the writer goroutine.
+func (p *persister) stop() {
+	close(p.ch)
+	<-p.done
+}
+
+func (p *persister) loop() {
+	defer close(p.done)
+	for req := range p.ch {
+		p.write(req)
+	}
+}
+
+func (p *persister) write(req persistReq) {
+	tmp, err := os.CreateTemp(filepath.Dir(p.path), filepath.Base(p.path)+".tmp")
+	if err != nil {
+		p.logf("cluseqd: persisting stream model v%d: %v", req.version, err)
+		return
+	}
+	err = req.clf.SaveBundle(tmp, cluseq.BundleOptions{WithTrees: true, PublishedVersion: req.version})
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), p.path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		p.logf("cluseqd: persisting stream model v%d: %v", req.version, err)
+		return
+	}
+	p.logf("cluseqd: persisted stream model v%d to %s", req.version, p.path)
+}

@@ -24,11 +24,16 @@ import (
 // concurrency note on pst.Tree). The serving daemon relies on this to
 // share one Classifier across all in-flight requests.
 type Classifier struct {
+	// trees holds the live cluster trees — nil for classifiers loaded
+	// from a v3 bundle without embedded trees, which serve entirely from
+	// the snapshot arenas below.
 	trees []*pst.Tree
-	// snaps holds one compiled scoring snapshot per tree (see
+	// snaps holds one compiled scoring snapshot per cluster (see
 	// pst.Snapshot). Classifier trees never mutate, so the snapshots
 	// compiled at construction stay valid for the classifier's lifetime
-	// and Classify scans flat arrays with no locks and no math.Log.
+	// and Classify scans flat arrays with no locks and no math.Log. For
+	// v3-loaded classifiers the snapshots are standalone views into the
+	// bundle bytes (zero-copy when those bytes are mmap'd).
 	snaps      []*pst.Snapshot
 	background []float64
 	logT       float64
@@ -38,6 +43,17 @@ type Classifier struct {
 	// Nil for bundles saved before format v2; such classifiers accept
 	// only pre-encoded symbol slices.
 	alphabet *seq.Alphabet
+	// published is the publisher snapshot version a v3 bundle was saved
+	// at; zero otherwise.
+	published uint64
+	// treeInfos and maxDepth carry the per-cluster stats of a treeless
+	// v3 bundle, so Info answers without the trees.
+	treeInfos []TreeInfo
+	maxDepth  int
+	// backing pins whatever owns the bytes the snapshots view — the
+	// mmap'd file region — for the classifier's lifetime, so the
+	// mapping is unmapped only after the last reader drops.
+	backing any
 }
 
 // NewClassifier builds a classifier from a clustering result. The result
@@ -142,14 +158,20 @@ func (c *Classifier) Classify(symbols []seq.Symbol) Assignment {
 		return out
 	}
 	bestIdx, bestNorm := -1, math.Inf(-1)
-	for i, tree := range c.trees {
+	for i, n := 0, c.NumClusters(); i < n; i++ {
+		var snap *pst.Snapshot
+		if i < len(c.snaps) {
+			snap = c.snaps[i]
+		}
 		var sim pst.Similarity
-		if i < len(c.snaps) && c.snaps[i].Valid(tree) {
-			sim = c.snaps[i].Similarity(symbols)
+		if snap != nil && (len(c.trees) == 0 || snap.Standalone() || snap.Valid(c.trees[i])) {
+			// Standalone snapshots (loaded from a v3 bundle) have no tree
+			// to go stale against; compiled ones must still match theirs.
+			sim = snap.Similarity(symbols)
 		} else {
 			// No compiled snapshot (classifier assembled without the
 			// constructors); the tree scan is bit-identical, just slower.
-			sim = tree.SimilarityFast(symbols, c.background)
+			sim = c.trees[i].SimilarityFast(symbols, c.background)
 		}
 		norm := sim.LogSim
 		if !c.raw {
@@ -186,7 +208,7 @@ func (c *Classifier) ClassifyString(raw string) (Assignment, error) {
 
 // NumClusters returns the number of clusters the classifier scores
 // against.
-func (c *Classifier) NumClusters() int { return len(c.trees) }
+func (c *Classifier) NumClusters() int { return max(len(c.trees), len(c.snaps)) }
 
 // Alphabet returns the training alphabet, or nil for bundles saved
 // before format v2.
@@ -223,16 +245,26 @@ type TreeInfo struct {
 }
 
 // Info summarizes the classifier's parameters and per-cluster trees. It
-// walks every tree, so the cost is proportional to total model size.
+// walks every tree, so the cost is proportional to total model size;
+// for treeless (v3-loaded) classifiers it answers from the bundle's
+// stored per-cluster stats instead.
 func (c *Classifier) Info() ModelInfo {
 	info := ModelInfo{
-		Clusters:      len(c.trees),
+		Clusters:      c.NumClusters(),
 		AlphabetSize:  len(c.background),
 		Threshold:     c.Threshold(),
 		RawSimilarity: c.raw,
 	}
 	if c.alphabet != nil {
 		info.Alphabet = c.alphabet.String()
+	}
+	if len(c.trees) == 0 && len(c.treeInfos) > 0 {
+		info.MaxDepth = c.maxDepth
+		info.Trees = append([]TreeInfo(nil), c.treeInfos...)
+		for _, ti := range c.treeInfos {
+			info.TotalNodes += ti.Nodes
+		}
+		return info
 	}
 	for _, tree := range c.trees {
 		st := tree.Stats()
@@ -320,10 +352,13 @@ func boolByte(b bool) byte {
 	return 0
 }
 
-// LoadClassifier reads a bundle previously written by Save. Both format
-// v2 and the older v1 (no alphabet section) are accepted. Corrupt or
-// truncated bundles fail with an error naming the offending section; no
-// error causes an allocation proportional to a corrupt size field.
+// LoadClassifier reads a bundle previously written by Save or
+// SaveBundle: format v3 (routed through LoadClassifierBytes on an
+// in-memory copy — callers that want zero-copy should mmap and call
+// LoadClassifierBytes directly), v2, and the older v1 (no alphabet
+// section) are all accepted. Corrupt or truncated bundles fail with an
+// error naming the offending section; no error causes an allocation
+// proportional to a corrupt size field.
 func LoadClassifier(r io.Reader) (*Classifier, error) {
 	br := bufio.NewReader(r)
 	got := make([]byte, len(classifierMagic))
@@ -332,6 +367,12 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 	}
 	var hasAlphabet bool
 	switch {
+	case bytes.Equal(got, classifierMagicV3):
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading v3 bundle: %w", err)
+		}
+		return LoadClassifierBytes(append(got, rest...), nil)
 	case bytes.Equal(got, classifierMagic):
 		hasAlphabet = true
 	case bytes.Equal(got, classifierMagicV1):
@@ -390,7 +431,9 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 		if err := binary.Read(br, binary.LittleEndian, &c.background[i]); err != nil {
 			return nil, fmt.Errorf("core: reading background entry %d: %w", i, err)
 		}
-		if !(c.background[i] > 0) {
+		// Zero is legitimate: a stream-published background has zero mass
+		// on symbols the stream never produced.
+		if !(c.background[i] >= 0) || c.background[i] > 1 {
 			return nil, fmt.Errorf("core: corrupt background entry %d: %v", i, c.background[i])
 		}
 	}

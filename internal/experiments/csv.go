@@ -156,8 +156,10 @@ func (s *SimilarityBench) Table() (string, []string, [][]string) {
 	rows := make([][]string, len(s.Rows))
 	for i, r := range s.Rows {
 		rows[i] = []string{itoa(r.AlphabetSize), itoa(r.SeqLen), itoa(r.TreeNodes),
-			micros(r.TreePerScan), micros(r.SnapshotPerScan), f2(r.Speedup)}
+			micros(r.TreePerScan), micros(r.SnapshotPerScan), f2(r.Speedup),
+			f2(r.AllocsPerScan), itoa(r.SnapshotBytes)}
 	}
 	return fmt.Sprintf("Similarity benchmark: tree scan vs compiled snapshot (scale=%s)", s.Scale),
-		[]string{"alphabet", "seq_len", "tree_nodes", "tree_us_per_scan", "snapshot_us_per_scan", "speedup"}, rows
+		[]string{"alphabet", "seq_len", "tree_nodes", "tree_us_per_scan", "snapshot_us_per_scan", "speedup",
+			"allocs_per_scan", "snapshot_bytes"}, rows
 }

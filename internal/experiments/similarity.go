@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math/rand/v2"
+	"runtime"
 	"time"
 
 	"cluseq/internal/pst"
@@ -20,7 +21,9 @@ type SimilarityBench struct {
 }
 
 // SimilarityBenchRow is one (alphabet, length) cell: per-scan wall time
-// through each implementation and their ratio.
+// through each implementation, their ratio, and the snapshot path's
+// memory behaviour — heap allocations per scan (the arena layout's
+// target is 0) and the compiled arena's resident size.
 type SimilarityBenchRow struct {
 	AlphabetSize    int
 	SeqLen          int
@@ -28,6 +31,12 @@ type SimilarityBenchRow struct {
 	TreePerScan     time.Duration
 	SnapshotPerScan time.Duration
 	Speedup         float64
+	// AllocsPerScan counts heap allocations per snapshot scan (mallocs
+	// observed across the timed loop divided by scans).
+	AllocsPerScan float64
+	// SnapshotBytes is the compiled snapshot's arena size — the resident
+	// bytes the scan touches, and exactly the bytes a v3 bundle stores.
+	SnapshotBytes int
 }
 
 func (s *SimilarityBench) String() string { return render(s) }
@@ -39,6 +48,8 @@ var similarityBenchGrid = []struct{ alpha, seqLen int }{
 	{50, 200},
 	{50, 1000},
 	{100, 500},
+	{200, 500},
+	{200, 1000},
 }
 
 // RunSimilarityBench times both scan implementations on identical
@@ -88,6 +99,8 @@ func RunSimilarityBench(sc Scale, seed uint64) (*SimilarityBench, error) {
 			}
 		}
 		treeTotal := time.Since(start)
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		start = time.Now()
 		for r := 0; r < reps; r++ {
 			for _, p := range probes {
@@ -95,6 +108,7 @@ func RunSimilarityBench(sc Scale, seed uint64) (*SimilarityBench, error) {
 			}
 		}
 		snapTotal := time.Since(start)
+		runtime.ReadMemStats(&m1)
 
 		scans := reps * len(probes)
 		row := SimilarityBenchRow{
@@ -103,6 +117,8 @@ func RunSimilarityBench(sc Scale, seed uint64) (*SimilarityBench, error) {
 			TreeNodes:       tree.NumNodes(),
 			TreePerScan:     treeTotal / time.Duration(scans),
 			SnapshotPerScan: snapTotal / time.Duration(scans),
+			AllocsPerScan:   float64(m1.Mallocs-m0.Mallocs) / float64(scans),
+			SnapshotBytes:   snap.ArenaBytes(),
 		}
 		if snapTotal > 0 {
 			row.Speedup = float64(treeTotal) / float64(snapTotal)

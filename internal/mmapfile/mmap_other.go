@@ -1,0 +1,14 @@
+//go:build !unix
+
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+)
+
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("mmapfile: memory mapping not supported on this platform")
+}
+
+func unmap(data []byte) error { return nil }

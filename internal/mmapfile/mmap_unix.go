@@ -1,0 +1,19 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("mmapfile: %d bytes exceed the address space", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

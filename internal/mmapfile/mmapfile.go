@@ -1,0 +1,113 @@
+// Package mmapfile provides read-only memory-mapped files with
+// garbage-collection-driven lifetime, for serving model bundles
+// zero-copy.
+//
+// A Mapping's bytes stay valid for as long as the Mapping value is
+// reachable: consumers that alias the data (e.g. a pst.Snapshot whose
+// tables view an mmap'd bundle) retain the Mapping, and when the last
+// reference drops a finalizer unmaps the pages. That is exactly the
+// unmap-after-last-reader discipline the model registry needs on hot
+// reload — the swap drops the registry's reference, in-flight requests
+// keep theirs, and the kernel mapping disappears only after the final
+// request completes, with no reference counting in the request path.
+//
+// Because the pages alias the file, the file must only ever be
+// replaced atomically (write a temp file, then rename): the old inode
+// then survives until unmapped. Rewriting a mapped file in place
+// mutates — or, if truncated, invalidates — the bytes under live
+// readers.
+//
+// On platforms without mmap support (and for empty files) Open falls
+// back to reading the file into memory; Data is then a private copy
+// and everything else behaves identically.
+package mmapfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+)
+
+// mappedBytes tracks the total bytes currently mapped through this
+// package, surfaced as the cluseq_registry_mapped_bytes gauge.
+var mappedBytes atomic.Int64
+
+// MappedBytes returns the total bytes currently memory-mapped through
+// this package (heap-copy fallbacks excluded).
+func MappedBytes() int64 { return mappedBytes.Load() }
+
+// Mapping is one read-only mapped file. Safe for concurrent readers;
+// Close (or garbage collection after the last reference drops) ends
+// its lifetime.
+type Mapping struct {
+	data   []byte
+	mapped bool // OS mapping, as opposed to the heap-copy fallback
+	closed atomic.Bool
+}
+
+// Open maps path read-only. If the platform cannot map it, the file is
+// read into memory instead — callers observe the same immutable bytes
+// either way, only the zero-copy property differs (Mapped reports
+// which). The returned Mapping carries a finalizer, so an unreferenced
+// Mapping is eventually unmapped even without an explicit Close.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size > 1<<46 {
+		return nil, fmt.Errorf("mmapfile: %s is %d bytes, refusing to map", path, size)
+	}
+	m := &Mapping{}
+	if size > 0 {
+		if data, err := mapFile(f, size); err == nil {
+			m.data, m.mapped = data, true
+			mappedBytes.Add(size)
+		} else {
+			buf := make([]byte, size)
+			if _, err := io.ReadFull(f, buf); err != nil {
+				return nil, fmt.Errorf("mmapfile: reading %s: %w", path, err)
+			}
+			m.data = buf
+		}
+	}
+	runtime.SetFinalizer(m, (*Mapping).Close)
+	return m, nil
+}
+
+// Data returns the file's bytes. The slice is valid while the Mapping
+// is reachable and must not be mutated. Any consumer that keeps the
+// slice past its own call frame must also keep the Mapping (or rely on
+// a holder that does), otherwise the finalizer may unmap the pages
+// under it.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether Data aliases an OS mapping (true) or a heap
+// copy (false).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close unmaps the file. Idempotent and safe to call concurrently with
+// itself, but the caller must guarantee no reader still uses Data —
+// the registry only closes mappings that were never published, and
+// otherwise leaves the finalizer to close after the last reader drops.
+func (m *Mapping) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	runtime.SetFinalizer(m, nil)
+	var err error
+	if m.mapped {
+		err = unmap(m.data)
+		mappedBytes.Add(-int64(len(m.data)))
+	}
+	m.data = nil
+	return err
+}

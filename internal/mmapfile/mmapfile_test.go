@@ -1,0 +1,95 @@
+package mmapfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestOpenReadsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := bytes.Repeat([]byte("cluseq"), 4096)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !bytes.Equal(m.Data(), want) {
+		t.Fatal("mapped bytes differ from file contents")
+	}
+	if m.Mapped() && MappedBytes() < int64(len(want)) {
+		t.Fatalf("MappedBytes %d < mapping size %d", MappedBytes(), len(want))
+	}
+}
+
+func TestCloseIdempotentAndAccounted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, make([]byte, 8192), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := MappedBytes()
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wasMapped := m.Mapped()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if wasMapped && MappedBytes() != before {
+		t.Fatalf("MappedBytes %d after close, want %d", MappedBytes(), before)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data()) != 0 {
+		t.Fatal("empty file must map to empty data")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFinalizerUnmaps pins the unmap-after-last-reader contract: once
+// the last reference to a Mapping drops, garbage collection alone must
+// release the pages and the accounting.
+func TestFinalizerUnmaps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, make([]byte, 1<<16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := MappedBytes()
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Mapped() {
+		t.Skip("no OS mapping on this platform; finalizer path is untestable")
+	}
+	m = nil // drop the last reference
+	deadline := time.Now().Add(5 * time.Second)
+	for MappedBytes() != before {
+		if time.Now().After(deadline) {
+			t.Fatalf("mapping not finalized: MappedBytes %d, want %d", MappedBytes(), before)
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,485 @@
+package pst
+
+// Arena layout of compiled scoring snapshots.
+//
+// A Snapshot's entire state — node transition structure, prediction row
+// indices, folded log-ratio tables, background distribution — lives in
+// one contiguous byte slab (the arena). The serialized form of a
+// snapshot IS the arena: Save writes the slab verbatim, and on a
+// little-endian host the loader reconstructs every typed slice as a
+// zero-copy view into the same bytes. That identity is what lets the
+// model registry mmap a bundle file and serve it without allocating,
+// copying, or touching the garbage collector (bundle format v3,
+// DESIGN.md §14).
+//
+// Layout (all integers little-endian):
+//
+//	offset 0: 64-byte fixed header
+//	  [0:4)   magic "PSA3"
+//	  [4:8)   flags (bit 0 descend, bit 1 delegate)
+//	  [8:12)  alphabet size n
+//	  [12:16) numNodes
+//	  [16:20) rows (prediction rows)
+//	  [20:24) denseRows
+//	  [24:28) csrRows
+//	  [28:32) csrEdges
+//	  [32:36) childEdges
+//	  [36:40) maxDepth
+//	  [40:48) arenaLen (total slab length, header included)
+//	  [48:52) CRC-32C of arena[64:arenaLen]
+//	  [52:64) reserved, zero
+//
+// followed by the sections below in fixed order, each aligned to a
+// 64-byte boundary (cache-line-sized, and generous for every element
+// type). A section whose element count is zero occupies no bytes.
+// Sections have no per-section length fields: every extent is derived
+// from the header counts, so a corrupt header is caught by arithmetic
+// against arenaLen before any allocation happens.
+//
+//	logRatio   rows·n float64   folded ln P̂(s|ctx) − ln p(s) tables
+//	background n float64        the distribution the ratios were folded with
+//	nodeTrans  numNodes uint32  per-node transition row: bit 31 set = dense
+//	                            row id, clear = CSR row id
+//	parent     numNodes int32   BFS parent, the CSR miss fallback chain
+//	row        numNodes int32   prediction row of the node's deepest
+//	                            significant ancestor-or-self
+//	denseTrans denseRows·n i32  full transition rows (fallback resolved)
+//	csrStart   csrRows+1 uint32 CSR row extents into csrSym/csrDst
+//	csrDst     csrEdges int32   CSR transition targets
+//	csrSym     csrEdges uint16  CSR symbols, sorted per row
+//	childStart numNodes+1 int32 descend mode only: child-edge extents
+//	childDst   childEdges int32 descend mode only: child targets
+//	childSym   childEdges u16   descend mode only: child edge symbols
+//
+// nodeTrans/parent/denseTrans/csr* are present only in automaton mode
+// (neither flag set); childStart/childDst/childSym only in descend
+// mode; a delegate arena carries just the header and the background.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"unsafe"
+
+	"cluseq/internal/seq"
+)
+
+const (
+	arenaMagic     = "PSA3"
+	arenaHeaderLen = 64
+	arenaAlign     = 64
+
+	arenaFlagDescend  = 1 << 0
+	arenaFlagDelegate = 1 << 1
+	arenaKnownFlags   = arenaFlagDescend | arenaFlagDelegate
+)
+
+// denseFlag marks a nodeTrans entry as indexing a dense transition row;
+// entries without it index a CSR row.
+const denseFlag = uint32(1) << 31
+
+// maxArenaLen bounds the slab length a header may declare (64 GiB —
+// far beyond any legitimate model); larger values are rejected before
+// any arithmetic can overflow or any allocation can run.
+const maxArenaLen = int64(1) << 36
+
+// castagnoli is the CRC-32C table shared by arena and bundle checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian reports whether typed loads read the arena's
+// little-endian bytes natively — the zero-copy precondition.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// arenaZeroCopy gates the unsafe slice views. On big-endian hosts (and
+// in the test that pins the fallback) every section is decoded into a
+// freshly allocated native slice instead — slower, never wrong.
+var arenaZeroCopy = hostLittleEndian
+
+// arenaHeader is the decoded fixed header of one snapshot arena.
+type arenaHeader struct {
+	flags      uint32
+	n          uint32
+	numNodes   uint32
+	rows       uint32
+	denseRows  uint32
+	csrRows    uint32
+	csrEdges   uint32
+	childEdges uint32
+	maxDepth   uint32
+	arenaLen   uint64
+	crc        uint32
+}
+
+func (h *arenaHeader) descend() bool  { return h.flags&arenaFlagDescend != 0 }
+func (h *arenaHeader) delegate() bool { return h.flags&arenaFlagDelegate != 0 }
+
+// automaton reports whether the arena carries the per-node transition
+// structure (as opposed to descend-mode child edges or a delegate stub).
+func (h *arenaHeader) automaton() bool { return !h.descend() && !h.delegate() }
+
+// Section indices, in arena order. Keep in sync with sections().
+const (
+	secLogRatio = iota
+	secBackground
+	secNodeTrans
+	secParent
+	secRow
+	secDenseTrans
+	secCsrStart
+	secCsrDst
+	secCsrSym
+	secChildStart
+	secChildDst
+	secChildSym
+	numArenaSections
+)
+
+// arenaSectionNames names sections in loader errors, so a corrupt
+// bundle points at the byte range that broke.
+var arenaSectionNames = [numArenaSections]string{
+	"logRatio", "background", "nodeTrans", "parent", "row", "denseTrans",
+	"csrStart", "csrDst", "csrSym", "childStart", "childDst", "childSym",
+}
+
+// sections returns each section's (element size, element count) for
+// this header. Counts are int64 so corrupt headers cannot overflow.
+func (h *arenaHeader) sections() [numArenaSections][2]int64 {
+	var out [numArenaSections][2]int64
+	n := int64(h.n)
+	num := int64(h.numNodes)
+	if !h.delegate() {
+		out[secLogRatio] = [2]int64{8, int64(h.rows) * n}
+		out[secRow] = [2]int64{4, num}
+	}
+	out[secBackground] = [2]int64{8, n}
+	if h.automaton() {
+		out[secNodeTrans] = [2]int64{4, num}
+		out[secParent] = [2]int64{4, num}
+		out[secDenseTrans] = [2]int64{4, int64(h.denseRows) * n}
+		out[secCsrStart] = [2]int64{4, int64(h.csrRows) + 1}
+		out[secCsrDst] = [2]int64{4, int64(h.csrEdges)}
+		out[secCsrSym] = [2]int64{2, int64(h.csrEdges)}
+	}
+	if h.descend() {
+		out[secChildStart] = [2]int64{4, num + 1}
+		out[secChildDst] = [2]int64{4, int64(h.childEdges)}
+		out[secChildSym] = [2]int64{2, int64(h.childEdges)}
+	}
+	return out
+}
+
+// offsets computes every section's byte offset and the total arena
+// length. Pure arithmetic over the header — no allocation.
+func (h *arenaHeader) offsets() ([numArenaSections]int64, int64) {
+	var offs [numArenaSections]int64
+	off := int64(arenaHeaderLen)
+	for i, s := range h.sections() {
+		off = alignUp64(off, arenaAlign)
+		offs[i] = off
+		off += s[0] * s[1]
+	}
+	return offs, alignUp64(off, arenaAlign)
+}
+
+func alignUp64(v, a int64) int64 { return (v + a - 1) &^ (a - 1) }
+
+// validate rejects implausible headers with section-free arithmetic,
+// before offsets() or any allocation runs.
+func (h *arenaHeader) validate() error {
+	if h.flags&^uint32(arenaKnownFlags) != 0 {
+		return fmt.Errorf("pst: arena header: unknown flags %#x", h.flags)
+	}
+	if h.descend() && h.delegate() {
+		return fmt.Errorf("pst: arena header: descend and delegate flags are mutually exclusive")
+	}
+	if h.n == 0 || int64(h.n) > int64(seq.MaxAlphabetSize) {
+		return fmt.Errorf("pst: arena header: alphabet size %d outside [1, %d]", h.n, seq.MaxAlphabetSize)
+	}
+	if int64(h.arenaLen) > maxArenaLen {
+		return fmt.Errorf("pst: arena header: length %d exceeds the %d cap", h.arenaLen, maxArenaLen)
+	}
+	if h.delegate() {
+		if h.numNodes != 0 || h.rows != 0 || h.denseRows != 0 || h.csrRows != 0 || h.csrEdges != 0 || h.childEdges != 0 {
+			return fmt.Errorf("pst: arena header: delegate arena declares node sections")
+		}
+		return nil
+	}
+	if h.numNodes < 1 || int64(h.numNodes) > maxLoadNodes {
+		return fmt.Errorf("pst: arena header: node count %d outside [1, %d]", h.numNodes, maxLoadNodes)
+	}
+	if h.rows < 1 || h.rows > h.numNodes {
+		return fmt.Errorf("pst: arena header: %d prediction rows for %d nodes", h.rows, h.numNodes)
+	}
+	if h.maxDepth > 1<<30 {
+		return fmt.Errorf("pst: arena header: max depth %d", h.maxDepth)
+	}
+	if h.descend() {
+		if h.childEdges != h.numNodes-1 {
+			return fmt.Errorf("pst: arena section childSym: %d edges for %d nodes (want %d)", h.childEdges, h.numNodes, h.numNodes-1)
+		}
+		if h.denseRows != 0 || h.csrRows != 0 || h.csrEdges != 0 {
+			return fmt.Errorf("pst: arena header: descend arena declares transition sections")
+		}
+		return nil
+	}
+	if h.denseRows+h.csrRows != h.numNodes {
+		return fmt.Errorf("pst: arena header: %d dense + %d CSR rows != %d nodes", h.denseRows, h.csrRows, h.numNodes)
+	}
+	if h.denseRows < 1 {
+		return fmt.Errorf("pst: arena section denseTrans: the root row must be dense")
+	}
+	if h.csrEdges > h.numNodes-1 {
+		return fmt.Errorf("pst: arena section csrSym: %d edges exceed %d nodes", h.csrEdges, h.numNodes-1)
+	}
+	if h.childEdges != 0 {
+		return fmt.Errorf("pst: arena header: automaton arena declares child sections")
+	}
+	return nil
+}
+
+func (h *arenaHeader) encode(dst []byte) {
+	copy(dst[0:4], arenaMagic)
+	le := binary.LittleEndian
+	le.PutUint32(dst[4:8], h.flags)
+	le.PutUint32(dst[8:12], h.n)
+	le.PutUint32(dst[12:16], h.numNodes)
+	le.PutUint32(dst[16:20], h.rows)
+	le.PutUint32(dst[20:24], h.denseRows)
+	le.PutUint32(dst[24:28], h.csrRows)
+	le.PutUint32(dst[28:32], h.csrEdges)
+	le.PutUint32(dst[32:36], h.childEdges)
+	le.PutUint32(dst[36:40], h.maxDepth)
+	le.PutUint64(dst[40:48], h.arenaLen)
+	le.PutUint32(dst[48:52], h.crc)
+	clear(dst[52:arenaHeaderLen])
+}
+
+func decodeArenaHeader(b []byte) (arenaHeader, error) {
+	var h arenaHeader
+	if len(b) < arenaHeaderLen {
+		return h, fmt.Errorf("pst: arena header: %d bytes, need %d", len(b), arenaHeaderLen)
+	}
+	if string(b[0:4]) != arenaMagic {
+		return h, fmt.Errorf("pst: arena header: bad magic %q", b[0:4])
+	}
+	le := binary.LittleEndian
+	h.flags = le.Uint32(b[4:8])
+	h.n = le.Uint32(b[8:12])
+	h.numNodes = le.Uint32(b[12:16])
+	h.rows = le.Uint32(b[16:20])
+	h.denseRows = le.Uint32(b[20:24])
+	h.csrRows = le.Uint32(b[24:28])
+	h.csrEdges = le.Uint32(b[28:32])
+	h.childEdges = le.Uint32(b[32:36])
+	h.maxDepth = le.Uint32(b[36:40])
+	h.arenaLen = le.Uint64(b[40:48])
+	h.crc = le.Uint32(b[48:52])
+	return h, nil
+}
+
+// alignedBytes allocates a zeroed slab whose first byte sits on a
+// 64-byte boundary, so absolute section offsets inside it carry the
+// same alignment the mmap path gets from page-aligned mappings.
+func alignedBytes(n int64) []byte {
+	buf := make([]byte, n+arenaAlign-1)
+	off := int64((arenaAlign - uintptr(unsafe.Pointer(&buf[0]))%arenaAlign) % arenaAlign)
+	return buf[off : off+n : off+n]
+}
+
+// rawBytes reinterprets a typed slice as its backing bytes (host
+// endianness — callers gate on hostLittleEndian).
+func rawBytes[T any](src []T) []byte {
+	if len(src) == 0 {
+		return nil
+	}
+	var zero T
+	return unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), len(src)*int(unsafe.Sizeof(zero)))
+}
+
+// The put* helpers encode a native slice into arena bytes as
+// little-endian; on little-endian hosts they are a single copy.
+
+func putU16s[T ~uint16](dst []byte, src []T) {
+	if hostLittleEndian {
+		copy(dst, rawBytes(src))
+		return
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint16(dst[2*i:], uint16(v))
+	}
+}
+
+func putU32s[T ~uint32 | ~int32](dst []byte, src []T) {
+	if hostLittleEndian {
+		copy(dst, rawBytes(src))
+		return
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], uint32(v))
+	}
+}
+
+func putF64s(dst []byte, src []float64) {
+	if hostLittleEndian {
+		copy(dst, rawBytes(src))
+		return
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+// The view* helpers expose an arena section as a typed slice: an
+// aliasing zero-copy view when arenaZeroCopy holds (little-endian host,
+// 64-byte-aligned base), a decoded copy otherwise. They run on the
+// serving path — SnapshotFromArena executes under a registry hot swap —
+// so they carry the hotpath contract; only the big-endian decode
+// fallback, one copy per section per load, is waived.
+
+//cluseq:hotpath
+func viewU16s[T ~uint16](b []byte, count int64) []T {
+	if count == 0 {
+		return nil
+	}
+	if arenaZeroCopy {
+		return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), count)
+	}
+	out := make([]T, count) //cluseq:allow hotpath: big-endian fallback decodes one copy per section load; the zero-copy branch is the served one
+	for i := range out {
+		out[i] = T(binary.LittleEndian.Uint16(b[2*i:])) //cluseq:allow hotpath: big-endian fallback only; little-endian hosts never reach this loop
+	}
+	return out
+}
+
+//cluseq:hotpath
+func viewU32s[T ~uint32 | ~int32](b []byte, count int64) []T {
+	if count == 0 {
+		return nil
+	}
+	if arenaZeroCopy {
+		return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), count)
+	}
+	out := make([]T, count) //cluseq:allow hotpath: big-endian fallback decodes one copy per section load; the zero-copy branch is the served one
+	for i := range out {
+		out[i] = T(binary.LittleEndian.Uint32(b[4*i:])) //cluseq:allow hotpath: big-endian fallback only; little-endian hosts never reach this loop
+	}
+	return out
+}
+
+//cluseq:hotpath
+func viewF64s(b []byte, count int64) []float64 {
+	if count == 0 {
+		return nil
+	}
+	if arenaZeroCopy {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), count)
+	}
+	out := make([]float64, count) //cluseq:allow hotpath: big-endian fallback decodes one copy per section load; the zero-copy branch is the served one
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])) //cluseq:allow hotpath: big-endian fallback only; little-endian hosts never reach this loop
+	}
+	return out
+}
+
+// buildArena packs the compiled snapshot data into one checksummed
+// slab and returns it together with its decoded header.
+func buildArena(h arenaHeader, fill func(offs [numArenaSections]int64, arena []byte)) ([]byte, arenaHeader) {
+	offs, total := h.offsets()
+	h.arenaLen = uint64(total)
+	arena := alignedBytes(total)
+	fill(offs, arena)
+	h.crc = crc32.Checksum(arena[arenaHeaderLen:], castagnoli)
+	h.encode(arena[:arenaHeaderLen])
+	return arena, h
+}
+
+// attach wires the snapshot's typed slices onto the arena according to
+// the (already validated) header. Zero-copy on little-endian hosts.
+func (s *Snapshot) attach(arena []byte, h *arenaHeader) {
+	offs, _ := h.offsets()
+	secs := h.sections()
+	sec := func(i int) []byte { return arena[offs[i]:] }
+	s.arena = arena
+	s.n = int(h.n)
+	s.maxDepth = int(h.maxDepth)
+	s.descend = h.descend()
+	s.delegate = h.delegate()
+	s.logRatio = viewF64s(sec(secLogRatio), secs[secLogRatio][1])
+	s.background = viewF64s(sec(secBackground), secs[secBackground][1])
+	s.nodeTrans = viewU32s[uint32](sec(secNodeTrans), secs[secNodeTrans][1])
+	s.parent = viewU32s[int32](sec(secParent), secs[secParent][1])
+	s.row = viewU32s[int32](sec(secRow), secs[secRow][1])
+	s.denseTrans = viewU32s[int32](sec(secDenseTrans), secs[secDenseTrans][1])
+	s.csrStart = viewU32s[uint32](sec(secCsrStart), secs[secCsrStart][1])
+	s.csrDst = viewU32s[int32](sec(secCsrDst), secs[secCsrDst][1])
+	s.csrSym = viewU16s[seq.Symbol](sec(secCsrSym), secs[secCsrSym][1])
+	s.childStart = viewU32s[int32](sec(secChildStart), secs[secChildStart][1])
+	s.childDst = viewU32s[int32](sec(secChildDst), secs[secChildDst][1])
+	s.childSym = viewU16s[seq.Symbol](sec(secChildSym), secs[secChildSym][1])
+}
+
+// SnapshotFromArena reconstructs a snapshot from a serialized arena —
+// the bytes CompileSnapshot produced and Arena returned, typically a
+// section of an mmap'd bundle file. On little-endian hosts the returned
+// snapshot's tables are zero-copy views into data, which therefore must
+// stay immutable (and mapped) for the snapshot's lifetime; the loader
+// performs no allocation proportional to the declared sizes beyond the
+// validation arithmetic. A delegate-mode arena (compiled from a
+// shrinkage tree) yields ErrArenaDelegates: such models cannot scan
+// from tables and the caller must recompile from the serialized tree.
+//
+// owner, if non-nil, is retained for the snapshot's lifetime — pass
+// whatever keeps data's bytes valid (the mmap'd file region), so the
+// mapping cannot be unmapped while any reader still holds the
+// snapshot.
+//
+// Every validation failure names the header field or section at fault,
+// and the CRC-32C over the payload rejects silent corruption.
+func SnapshotFromArena(data []byte, owner any) (*Snapshot, error) {
+	h, err := decodeArenaHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	if h.arenaLen != uint64(len(data)) {
+		return nil, fmt.Errorf("pst: arena header: declared length %d, have %d bytes", h.arenaLen, len(data))
+	}
+	_, total := h.offsets()
+	if total != int64(len(data)) {
+		return nil, fmt.Errorf("pst: arena sections total %d bytes, header declares %d", total, h.arenaLen)
+	}
+	if got := crc32.Checksum(data[arenaHeaderLen:], castagnoli); got != h.crc {
+		return nil, fmt.Errorf("pst: arena payload checksum %#x does not match header %#x", got, h.crc)
+	}
+	if h.delegate() {
+		return nil, ErrArenaDelegates
+	}
+	if arenaZeroCopy && uintptr(unsafe.Pointer(&data[0]))%8 != 0 {
+		// Zero-copy views need natural alignment for the float64 tables.
+		// mmap hands back page-aligned bases and bundle sections are
+		// 64-byte aligned, so this only fires for hand-built slices;
+		// realign with one copy rather than failing.
+		data = append(alignedBytes(0), data...)
+	}
+	s := &Snapshot{backing: owner}
+	s.attach(data, &h)
+	return s, nil
+}
+
+// ErrArenaDelegates reports an arena whose snapshot delegates to the
+// tree scan (shrinkage estimation): it carries no tables, so callers
+// must deserialize the accompanying tree and compile from it instead.
+var ErrArenaDelegates = fmt.Errorf("pst: arena snapshot delegates to the tree scan; recompile from the serialized tree")
+
+// Arena returns the snapshot's backing slab — the exact bytes a bundle
+// stores and SnapshotFromArena accepts. Callers must not mutate it.
+func (s *Snapshot) Arena() []byte { return s.arena }
+
+// ArenaBytes returns the snapshot's resident table footprint in bytes.
+func (s *Snapshot) ArenaBytes() int { return len(s.arena) }

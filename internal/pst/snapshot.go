@@ -16,15 +16,31 @@ import (
 // is frozen:
 //
 //   - the Weiner-link extension / parent-climb loop of SimilarityFast
-//     becomes one transition-table lookup (trans[node·n+sym] when the
-//     table fits a budget, a sorted-edge walk with parent fallback
-//     otherwise),
+//     becomes one transition step: a table load for nodes whose
+//     extension row is dense, a binary search over a sorted CSR row
+//     with parent fallback for the (typically long) sparse tail,
 //   - the climb to the deepest significant ancestor becomes a
 //     precomputed per-node row index, and
 //   - the per-symbol probability adjustment (§5.2 PMin), the math.Log
 //     call, and the background-log subtraction are all folded into a
 //     precomputed ln P̂(s|ctx) − ln p(s) table — the scan performs zero
 //     logarithms and acquires zero locks.
+//
+// Everything the scan reads lives in one contiguous arena (see
+// arena.go): structure-of-arrays node storage with no per-node Go
+// objects and no maps, so a snapshot is a single allocation whose
+// serialized form is its in-memory form — bundle format v3 stores the
+// arena verbatim and the registry can mmap it back without parsing.
+//
+// Dense-vs-CSR is chosen per node at compile time: a node whose full
+// extensions cover at least 1/denseOccupancy of the alphabet gets a
+// fully resolved dense transition row (fallback already applied), every
+// other node stores only its own sorted extensions and the scan climbs
+// the BFS parent chain on a miss. The root is always dense, so every
+// climb terminates in O(depth) with the usual amortization argument.
+// This is what keeps large alphabets fast: the handful of shallow,
+// high-occupancy nodes that dominate transition traffic stay O(1)
+// without paying numNodes·n table bytes for the sparse tail.
 //
 // The compilation is exact, not approximate: Similarity returns results
 // bit-identical to Tree.SimilarityFast and Tree.Similarity (same
@@ -62,7 +78,9 @@ import (
 // caller's freeze discipline, exactly as SimilarityFast always has).
 // Callers detect staleness with Valid, which compares the tree identity
 // and Version stamp — the same invalidation rule the clustering
-// engine's similarity cache uses.
+// engine's similarity cache uses. A snapshot reconstructed from a
+// serialized arena (SnapshotFromArena) has no tree at all — see
+// Standalone.
 //
 // Snapshots are safe for concurrent use by any number of goroutines.
 type Snapshot struct {
@@ -81,20 +99,23 @@ type Snapshot struct {
 	descend  bool
 	maxDepth int
 
+	// arena is the one slab every slice below aliases (zero-copy on
+	// little-endian hosts); backing pins whatever owns the slab's bytes
+	// — an mmap'd file region — for the snapshot's lifetime.
+	arena   []byte
+	backing any
+
 	// Transition function over compiled node indices (root = 0): the
 	// index of the deepest node matching the context after one more
-	// symbol. Dense when numNodes·n fits denseTransLimit.
-	dense bool
-	trans []int32 // dense: trans[node*n + sym]
-
-	// Sparse fallback: per node, the symbols whose full extension
-	// (context·sym as the new most recent symbol) exists in the tree,
-	// sorted for binary search; a miss retries on the parent, whose
-	// context is the next shorter suffix.
-	edgeStart []int32
-	edgeSym   []seq.Symbol
-	edgeDst   []int32
-	parent    []int32
+	// symbol. nodeTrans[x] selects x's representation — bit 31 set
+	// means denseTrans row (full function, fallback resolved), clear
+	// means CSR row (own extensions only; a miss climbs parent).
+	nodeTrans  []uint32
+	denseTrans []int32
+	csrStart   []uint32
+	csrSym     []seq.Symbol
+	csrDst     []int32
+	parent     []int32
 
 	// Descent mode: the tree's own child edges (one more context symbol
 	// back in time), sorted per node for binary search.
@@ -111,12 +132,20 @@ type Snapshot struct {
 	background []float64 // the distribution the ratios were folded with
 }
 
-// denseTransLimit caps the dense transition table at numNodes·alphabet
-// entries (int32 each, so 16 MiB at the default). Beyond it compilation
-// switches to the sorted-edge representation, trading the O(1) lookup
-// for an amortized-O(1) climb — the same amortization argument as the
-// fastscan links. Variable so tests can force the sparse path cheaply.
-var denseTransLimit = 1 << 22
+// denseOccupancy picks the dense threshold: a node's transition row is
+// compiled dense when extensions·denseOccupancy ≥ alphabet size (the
+// root is always dense so parent climbs terminate). 4 means ≥ 25%
+// occupancy — below that a binary search over the CSR row is cheaper
+// than the cache traffic of an n-wide row. Variable so tests can force
+// the all-CSR path (0) or the all-dense path (a huge value) cheaply.
+var denseOccupancy = 4
+
+// denseAllLimit is the small-table escape: when numNodes·n fits this
+// many entries (int32 each, so 4 MiB — comfortably cache-resident),
+// every row is compiled dense and each transition is one load, exactly
+// the old global dense table. The per-node occupancy rule only matters
+// once the full table would blow the cache anyway.
+var denseAllLimit = 1 << 20
 
 // CompileSnapshot compiles the tree's current state against the given
 // background distribution (the memoryless p(s) of the database, as for
@@ -124,17 +153,18 @@ var denseTransLimit = 1 << 22
 // not be mutated during compilation; afterwards the Snapshot is
 // independent of further tree changes (and Valid reports them).
 func (t *Tree) CompileSnapshot(background []float64) *Snapshot {
-	if len(background) != t.cfg.AlphabetSize {
-		panic(fmt.Sprintf("pst: background distribution has %d entries, alphabet has %d", len(background), t.cfg.AlphabetSize))
+	n := t.cfg.AlphabetSize
+	if len(background) != n {
+		panic(fmt.Sprintf("pst: background distribution has %d entries, alphabet has %d", len(background), n))
 	}
-	s := &Snapshot{
-		tree:       t,
-		version:    t.version,
-		n:          t.cfg.AlphabetSize,
-		background: background,
-	}
+	s := &Snapshot{tree: t, version: t.version}
 	if t.cfg.Shrinkage > 0 {
-		s.delegate = true
+		h := arenaHeader{flags: arenaFlagDelegate, n: uint32(n)}
+		arena, hh := buildArena(h, func(offs [numArenaSections]int64, arena []byte) {
+			putF64s(arena[offs[secBackground]:], background)
+		})
+		s.attach(arena, &hh)
+		s.background = background
 		return s
 	}
 
@@ -145,20 +175,19 @@ func (t *Tree) CompileSnapshot(background []float64) *Snapshot {
 	// over one contiguous span. The compile path deliberately builds
 	// arrays rather than maps — it runs once per (tree version, scoring
 	// pass) and must stay cheap relative to the scans it accelerates.
-	n := s.n
 	num := t.numNodes
 	nodes := make([]*Node, 0, num)
 	parent := make([]int32, num)
 	edge := make([]seq.Symbol, num)
 	first := make([]seq.Symbol, num) // most recent context symbol (root edge of the path)
-	s.childStart = make([]int32, num+1)
-	s.childSym = make([]seq.Symbol, 0, num-1)
-	s.childDst = make([]int32, 0, num-1)
+	childStart := make([]int32, num+1)
+	childSym := make([]seq.Symbol, 0, num-1)
+	childDst := make([]int32, 0, num-1)
 	nodes = append(nodes, t.root)
 	var syms []seq.Symbol
 	for head := 0; head < len(nodes); head++ {
 		nd := nodes[head]
-		s.childStart[head] = int32(len(s.childSym))
+		childStart[head] = int32(len(childSym))
 		syms = syms[:0]
 		for sym := range nd.children {
 			syms = append(syms, sym)
@@ -178,11 +207,26 @@ func (t *Tree) CompileSnapshot(background []float64) *Snapshot {
 			} else {
 				first[ci] = first[head]
 			}
-			s.childSym = append(s.childSym, sym)
-			s.childDst = append(s.childDst, ci)
+			childSym = append(childSym, sym)
+			childDst = append(childDst, ci)
 		}
 	}
-	s.childStart[num] = int32(len(s.childSym))
+	childStart[num] = int32(len(childSym))
+	childAt := func(cur int32, sym seq.Symbol) int32 {
+		lo, hi := childStart[cur], childStart[cur+1]
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if childSym[mid] < sym {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < childStart[cur+1] && childSym[lo] == sym {
+			return childDst[lo]
+		}
+		return -1
+	}
 
 	// Score rows: one per prediction-capable node (root + significant
 	// nodes); every other node inherits the row of its deepest
@@ -192,28 +236,28 @@ func (t *Tree) CompileSnapshot(background []float64) *Snapshot {
 	// values are bit-identical to what Tree.Similarity computes per
 	// symbol.
 	logBg := t.logBackground(background)
-	s.row = make([]int32, num)
+	row := make([]int32, num)
 	rows := 0
 	for i, nd := range nodes {
 		if i == 0 || t.Significant(nd) {
-			s.row[i] = int32(rows)
+			row[i] = int32(rows)
 			rows++
 		} else {
-			s.row[i] = s.row[parent[i]]
+			row[i] = row[parent[i]]
 		}
 	}
-	s.logRatio = make([]float64, rows*n)
+	logRatio := make([]float64, rows*n)
 	for i, nd := range nodes {
 		if i != 0 && !t.Significant(nd) {
 			continue
 		}
-		base := int(s.row[i]) * n
+		base := int(row[i]) * n
 		for sym := 0; sym < n; sym++ {
 			p := t.adjust(t.prob(nd, seq.Symbol(sym)))
 			if p <= 0 {
-				s.logRatio[base+sym] = math.Inf(-1)
+				logRatio[base+sym] = math.Inf(-1)
 			} else {
-				s.logRatio[base+sym] = math.Log(p) - logBg[sym]
+				logRatio[base+sym] = math.Log(p) - logBg[sym]
 			}
 		}
 	}
@@ -239,7 +283,7 @@ func (t *Tree) CompileSnapshot(background []float64) *Snapshot {
 		if nodes[i].depth == 1 {
 			continue // sl = root
 		}
-		target := s.child(sl[parent[i]], edge[i])
+		target := childAt(sl[parent[i]], edge[i])
 		if target < 0 {
 			closed = false
 			break
@@ -247,15 +291,32 @@ func (t *Tree) CompileSnapshot(background []float64) *Snapshot {
 		sl[i] = target
 	}
 	if !closed {
-		s.descend = true
-		s.maxDepth = t.cfg.MaxDepth
+		h := arenaHeader{
+			flags:      arenaFlagDescend,
+			n:          uint32(n),
+			numNodes:   uint32(num),
+			rows:       uint32(rows),
+			childEdges: uint32(num - 1),
+			maxDepth:   uint32(t.cfg.MaxDepth),
+		}
+		arena, hh := buildArena(h, func(offs [numArenaSections]int64, arena []byte) {
+			putF64s(arena[offs[secLogRatio]:], logRatio)
+			putF64s(arena[offs[secBackground]:], background)
+			putU32s(arena[offs[secRow]:], row)
+			putU32s(arena[offs[secChildStart]:], childStart)
+			putU32s(arena[offs[secChildDst]:], childDst)
+			putU16s(arena[offs[secChildSym]:], childSym)
+		})
+		s.attach(arena, &hh)
+		s.background = background
 		return s
 	}
 
 	// Full-extension lists, grouped by source: y extends sl[y] by
 	// first[y] (the node whose context is sl[y]'s context with first[y]
 	// appended as the new most recent symbol). Counting sort by source
-	// keeps compilation linear.
+	// keeps compilation linear; each source's extensions are then
+	// symbol-sorted for the CSR binary search.
 	extCount := make([]int32, num+1)
 	for y := 1; y < num; y++ {
 		extCount[sl[y]+1]++
@@ -275,59 +336,138 @@ func (t *Tree) CompileSnapshot(background []float64) *Snapshot {
 		extSym[p] = first[y]
 		extDst[p] = int32(y)
 	}
-
-	// Transition tables. The deepest match after consuming sym is the
-	// full extension of the deepest ancestor-or-self that has one —
-	// trans[x][sym] = ext(x, sym), else trans[parent(x)][sym], with the
-	// root transitioning to its sym child or staying put.
-	if num*n <= denseTransLimit {
-		s.dense = true
-		s.trans = make([]int32, num*n)
-		// Root row first: its extensions are exactly its children (the
-		// suffix link of a depth-1 node is the root) and its non-child
-		// transitions stay at the root (index 0, the zero value). Each
-		// later row starts as a copy of its parent's final row and then
-		// applies its own extension overrides — exactly the
-		// trans[x][sym] = ext(x, sym) else trans[parent(x)][sym]
-		// recurrence, resolved by BFS order.
-		for j := extStart[0]; j < extStart[1]; j++ {
-			s.trans[int(extSym[j])] = extDst[j]
-		}
-		for i := 1; i < num; i++ {
-			base := i * n
-			copy(s.trans[base:base+n], s.trans[int(parent[i])*n:int(parent[i])*n+n])
-			for j := extStart[i]; j < extStart[i+1]; j++ {
-				s.trans[base+int(extSym[j])] = extDst[j]
-			}
-		}
-	} else {
-		s.parent = parent
-		s.edgeStart = extStart
-		s.edgeSym = extSym
-		s.edgeDst = extDst
-		// Sort each source's extensions by symbol for binary search
-		// (counting sort grouped but ordered targets by BFS index).
-		for i := 0; i < num; i++ {
-			lo, hi := int(extStart[i]), int(extStart[i+1])
-			for j := lo + 1; j < hi; j++ {
-				for k := j; k > lo && extSym[k] < extSym[k-1]; k-- {
-					extSym[k], extSym[k-1] = extSym[k-1], extSym[k]
-					extDst[k], extDst[k-1] = extDst[k-1], extDst[k]
-				}
+	for i := 0; i < num; i++ {
+		lo, hi := int(extStart[i]), int(extStart[i+1])
+		for j := lo + 1; j < hi; j++ {
+			for k := j; k > lo && extSym[k] < extSym[k-1]; k-- {
+				extSym[k], extSym[k-1] = extSym[k-1], extSym[k]
+				extDst[k], extDst[k-1] = extDst[k-1], extDst[k]
 			}
 		}
 	}
-	// The child arrays only serve compilation and descent mode; free
-	// them for automaton snapshots.
-	s.childStart, s.childSym, s.childDst = nil, nil, nil
+
+	// Per-node representation choice. The deepest match after consuming
+	// sym is the full extension of the deepest ancestor-or-self that
+	// has one — trans[x][sym] = ext(x, sym), else trans[parent(x)][sym]
+	// — and each node stores that function either as a fully resolved
+	// dense row or as its own extensions in CSR form with the fallback
+	// left to the scan's parent climb.
+	nodeTrans := make([]uint32, num)
+	denseRows, csrRows, csrEdges := 0, 0, 0
+	allDense := num <= denseAllLimit/n
+	for i := 0; i < num; i++ {
+		ext := int(extStart[i+1] - extStart[i])
+		if i == 0 || allDense || ext*denseOccupancy >= n {
+			nodeTrans[i] = denseFlag | uint32(denseRows)
+			denseRows++
+		} else {
+			nodeTrans[i] = uint32(csrRows)
+			csrRows++
+			csrEdges += ext
+		}
+	}
+
+	// Dense rows resolve the fallback at compile time: start from the
+	// nearest dense ancestor's final row (the root's base row is all
+	// zeroes — stay at the root), overlay the extension overrides of
+	// each intervening CSR ancestor shallowest-first, then the node's
+	// own. BFS order guarantees every ancestor row is final before its
+	// descendants copy it.
+	denseTrans := make([]int32, denseRows*n)
+	var chain []int32
+	for i := 0; i < num; i++ {
+		tr := nodeTrans[i]
+		if tr < denseFlag {
+			continue
+		}
+		base := int(tr-denseFlag) * n
+		if i != 0 {
+			chain = chain[:0]
+			a := parent[i]
+			for nodeTrans[a] < denseFlag {
+				chain = append(chain, a)
+				a = parent[a]
+			}
+			src := int(nodeTrans[a]-denseFlag) * n
+			copy(denseTrans[base:base+n], denseTrans[src:src+n])
+			for k := len(chain) - 1; k >= 0; k-- {
+				c := chain[k]
+				for j := extStart[c]; j < extStart[c+1]; j++ {
+					denseTrans[base+int(extSym[j])] = extDst[j]
+				}
+			}
+		}
+		for j := extStart[i]; j < extStart[i+1]; j++ {
+			denseTrans[base+int(extSym[j])] = extDst[j]
+		}
+	}
+
+	// CSR rows in BFS order (row ids were assigned in the same order,
+	// so csrStart fills monotonically).
+	csrStart := make([]uint32, csrRows+1)
+	csrSym := make([]seq.Symbol, csrEdges)
+	csrDst := make([]int32, csrEdges)
+	pos := 0
+	for i := 0; i < num; i++ {
+		tr := nodeTrans[i]
+		if tr >= denseFlag {
+			continue
+		}
+		csrStart[tr] = uint32(pos)
+		for j := extStart[i]; j < extStart[i+1]; j++ {
+			csrSym[pos] = extSym[j]
+			csrDst[pos] = extDst[j]
+			pos++
+		}
+	}
+	csrStart[csrRows] = uint32(pos)
+
+	h := arenaHeader{
+		n:         uint32(n),
+		numNodes:  uint32(num),
+		rows:      uint32(rows),
+		denseRows: uint32(denseRows),
+		csrRows:   uint32(csrRows),
+		csrEdges:  uint32(csrEdges),
+		maxDepth:  uint32(t.cfg.MaxDepth),
+	}
+	arena, hh := buildArena(h, func(offs [numArenaSections]int64, arena []byte) {
+		putF64s(arena[offs[secLogRatio]:], logRatio)
+		putF64s(arena[offs[secBackground]:], background)
+		putU32s(arena[offs[secNodeTrans]:], nodeTrans)
+		putU32s(arena[offs[secParent]:], parent)
+		putU32s(arena[offs[secRow]:], row)
+		putU32s(arena[offs[secDenseTrans]:], denseTrans)
+		putU32s(arena[offs[secCsrStart]:], csrStart)
+		putU32s(arena[offs[secCsrDst]:], csrDst)
+		putU16s(arena[offs[secCsrSym]:], csrSym)
+	})
+	s.attach(arena, &hh)
+	s.background = background
 	return s
 }
 
 // Version returns the tree Version the snapshot was compiled at.
 func (s *Snapshot) Version() uint64 { return s.version }
 
-// Tree returns the tree the snapshot was compiled from.
+// Tree returns the tree the snapshot was compiled from, or nil for a
+// snapshot reconstructed from a serialized arena.
 func (s *Snapshot) Tree() *Tree { return s.tree }
+
+// Standalone reports whether the snapshot was reconstructed from a
+// serialized arena rather than compiled from a live tree: it can never
+// go stale (there is no tree to mutate) and Valid is the wrong
+// staleness test for it.
+func (s *Snapshot) Standalone() bool { return s != nil && s.tree == nil }
+
+// Background returns the background distribution the snapshot's log
+// ratios were folded with. Callers must not mutate it.
+func (s *Snapshot) Background() []float64 { return s.background }
+
+// Delegates reports whether the snapshot delegates scanning to the
+// tree (shrinkage estimation): its arena carries no tables, so
+// serializing such a cluster requires the tree itself.
+func (s *Snapshot) Delegates() bool { return s.delegate }
 
 // Valid reports whether the snapshot still reflects t exactly: it was
 // compiled from this very tree and the tree has not mutated since. This
@@ -396,37 +536,40 @@ func (s *Snapshot) similarityDescend(symbols []seq.Symbol) Similarity {
 	return best
 }
 
-// step advances the sparse transition function: find the sym edge on the
-// deepest ancestor-or-self that has one, else land at the root (which
-// either steps to its sym child via its own edge list or stays).
+// stepCSR advances the transition function from a CSR node: binary
+// search the node's own sorted extensions, and on a miss climb the BFS
+// parent chain — the next shorter context suffix — until a CSR row
+// hits or a dense ancestor resolves the step outright. The root row is
+// always dense, so the climb terminates.
 //
 //cluseq:hotpath
-func (s *Snapshot) step(cur int32, sym seq.Symbol) int32 {
+func (s *Snapshot) stepCSR(tr uint32, cur int32, sym seq.Symbol) int32 {
 	for {
-		lo, hi := s.edgeStart[cur], s.edgeStart[cur+1]
+		lo, hi := s.csrStart[tr], s.csrStart[tr+1]
 		for lo < hi {
 			mid := (lo + hi) / 2
-			if s.edgeSym[mid] < sym {
+			if s.csrSym[mid] < sym {
 				lo = mid + 1
 			} else {
 				hi = mid
 			}
 		}
-		if lo < s.edgeStart[cur+1] && s.edgeSym[lo] == sym {
-			return s.edgeDst[lo]
-		}
-		if cur == 0 {
-			return 0
+		if lo < s.csrStart[tr+1] && s.csrSym[lo] == sym {
+			return s.csrDst[lo]
 		}
 		cur = s.parent[cur]
+		tr = s.nodeTrans[cur]
+		if tr >= denseFlag {
+			return s.denseTrans[int(tr-denseFlag)*s.n+int(sym)]
+		}
 	}
 }
 
 // Similarity computes SIM_S(σ) exactly as Tree.Similarity and
 // Tree.SimilarityFast do — same dynamic program, bit-identical result —
 // against the background distribution the snapshot was compiled with.
-// It performs no locking and no logarithms; each scored symbol costs
-// one table load for the score and one transition step.
+// It performs no locking, no logarithms, and no allocation; each scored
+// symbol costs one table load for the score and one transition step.
 //
 //cluseq:hotpath
 func (s *Snapshot) Similarity(symbols []seq.Symbol) Similarity {
@@ -445,6 +588,7 @@ func (s *Snapshot) Similarity(symbols []seq.Symbol) Similarity {
 
 	n := s.n
 	row, ratio := s.row, s.logRatio
+	nodeTrans, dense := s.nodeTrans, s.denseTrans
 	var cur int32 // deepest node matching the current context suffix
 	for i, sym := range symbols {
 		logX := ratio[int(row[cur])*n+int(sym)]
@@ -459,10 +603,10 @@ func (s *Snapshot) Similarity(symbols []seq.Symbol) Similarity {
 			best.Start = yStart
 			best.End = i + 1
 		}
-		if s.dense {
-			cur = s.trans[int(cur)*n+int(sym)]
+		if tr := nodeTrans[cur]; tr >= denseFlag {
+			cur = dense[int(tr-denseFlag)*n+int(sym)]
 		} else {
-			cur = s.step(cur, sym)
+			cur = s.stepCSR(tr, cur, sym)
 		}
 	}
 	return best

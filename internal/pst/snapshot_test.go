@@ -33,19 +33,23 @@ func uniformBg(n int) []float64 {
 
 // TestSnapshotMatchesTreeRandom sweeps random trees across the
 // estimator's configuration space: PMin on/off, adaptive significance,
-// and both transition-table representations.
+// and all three transition-row mixes (per-node hybrid, all-dense,
+// all-CSR — the latter two forced through the occupancy knob so the
+// climb/override code paths are exercised regardless of tree shape).
 func TestSnapshotMatchesTreeRandom(t *testing.T) {
-	for _, sparse := range []bool{false, true} {
-		name := "dense"
-		if sparse {
-			name = "sparse"
-		}
-		t.Run(name, func(t *testing.T) {
-			if sparse {
-				old := denseTransLimit
-				denseTransLimit = 0
-				defer func() { denseTransLimit = old }()
-			}
+	for _, mode := range []struct {
+		name      string
+		occupancy int
+		allLimit  int
+	}{
+		{"hybrid", 2, 1 << 8},             // tiny escape + low bar: real mixed rows on test-sized trees
+		{"dense", 1 << 30, denseAllLimit}, // every extension-bearing row dense
+		{"csr", 0, 0},                     // every row but the root CSR
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			oldOcc, oldAll := denseOccupancy, denseAllLimit
+			denseOccupancy, denseAllLimit = mode.occupancy, mode.allLimit
+			defer func() { denseOccupancy, denseAllLimit = oldOcc, oldAll }()
 			rng := rand.New(rand.NewPCG(41, 42))
 			for trial := 0; trial < 80; trial++ {
 				alpha := 2 + rng.IntN(7)

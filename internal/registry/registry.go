@@ -23,6 +23,7 @@
 package registry
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"cluseq/internal/core"
+	"cluseq/internal/mmapfile"
 	"cluseq/internal/obs"
 )
 
@@ -64,12 +66,17 @@ type Model struct {
 	// Version is the publisher's monotonically increasing snapshot
 	// version; zero for file-loaded models.
 	Version uint64
+	// MappedBytes is the size of the memory-mapped file region this
+	// model serves from, or zero when the model was loaded by copying
+	// (v1/v2 bundles, mmap disabled, or platforms without mmap).
+	MappedBytes int64
 }
 
 // Registry is a hot-reloadable collection of named models. Construct
 // with Open; the zero value is not usable.
 type Registry struct {
 	dir  string
+	mmap bool
 	mu   sync.Mutex // serializes Reload
 	snap atomic.Pointer[map[string]*Model]
 	// generation counts completed reloads (including the initial load),
@@ -85,6 +92,7 @@ type Registry struct {
 	loadFailures *obs.Counter // individual bundles that failed to load
 	published    *obs.Counter // Publish calls (snapshot installs)
 	models       *obs.Gauge   // models in the current snapshot
+	mappedBytes  *obs.Gauge   // bytes served via mmap across the snapshot
 }
 
 // Instrument registers the registry's metrics — reload pass and outcome
@@ -104,7 +112,18 @@ func (r *Registry) Instrument(reg *obs.Registry) {
 	r.loadFailures = reg.Counter("cluseq_registry_load_failures_total")
 	r.published = reg.Counter("cluseq_registry_published_total")
 	r.models = reg.Gauge("cluseq_registry_models")
+	r.mappedBytes = reg.Gauge("cluseq_registry_mapped_bytes")
 	r.models.Set(float64(r.Len()))
+	r.mappedBytes.Set(float64(mappedTotal(*r.snap.Load())))
+}
+
+// mappedTotal sums the mmap-served bytes across a snapshot.
+func mappedTotal(snap map[string]*Model) int64 {
+	var total int64
+	for _, m := range snap {
+		total += m.MappedBytes
+	}
+	return total
 }
 
 // Report describes the outcome of one Reload pass. Name lists are
@@ -122,12 +141,29 @@ type Report struct {
 	Failed map[string]string `json:"failed,omitempty"`
 }
 
-// Open scans dir and loads every *.cluseq bundle in it. It fails only
-// when the directory itself is unreadable; individual corrupt bundles
-// are reported in the Report and skipped, so one bad file cannot keep a
+// Options configures how a Registry loads bundles.
+type Options struct {
+	// Mmap serves v3 bundles zero-copy from a read-only memory map of
+	// the file instead of decoding a heap copy. The mapping stays alive
+	// as long as any request holds the model (see Model); v1/v2 bundles
+	// and platforms without mmap support fall back to copying. Requires
+	// bundle files to be replaced atomically (temp file + rename): an
+	// in-place overwrite would mutate pages under live readers.
+	Mmap bool
+}
+
+// Open scans dir and loads every *.cluseq bundle in it, serving v3
+// bundles via mmap (see OpenWith to disable). It fails only when the
+// directory itself is unreadable; individual corrupt bundles are
+// reported in the Report and skipped, so one bad file cannot keep a
 // daemon from serving the good ones.
 func Open(dir string) (*Registry, Report, error) {
-	r := &Registry{dir: dir}
+	return OpenWith(dir, Options{Mmap: true})
+}
+
+// OpenWith is Open with explicit Options.
+func OpenWith(dir string, opts Options) (*Registry, Report, error) {
+	r := &Registry{dir: dir, mmap: opts.Mmap}
 	empty := map[string]*Model{}
 	r.snap.Store(&empty)
 	rep, err := r.Reload()
@@ -202,6 +238,7 @@ func (r *Registry) Publish(name string, clf *core.Classifier, version uint64) er
 	r.snap.Store(&next)
 	r.published.Inc()
 	r.models.Set(float64(len(next)))
+	r.mappedBytes.Set(float64(mappedTotal(next)))
 	return nil
 }
 
@@ -261,7 +298,7 @@ func (r *Registry) Reload() (Report, error) {
 			rep.Kept = append(rep.Kept, name)
 			continue
 		}
-		m, err := loadModel(name, path, fi)
+		m, err := r.loadModel(name, path, fi)
 		if err != nil {
 			rep.fail(name, err)
 			if prev, ok := old[name]; ok {
@@ -291,6 +328,7 @@ func (r *Registry) Reload() (Report, error) {
 	r.removed.Add(int64(len(rep.Removed)))
 	r.loadFailures.Add(int64(len(rep.Failed)))
 	r.models.Set(float64(len(next)))
+	r.mappedBytes.Set(float64(mappedTotal(next)))
 	return rep, nil
 }
 
@@ -301,7 +339,49 @@ func (rep *Report) fail(name string, err error) {
 	rep.Failed[name] = err.Error()
 }
 
-func loadModel(name, path string, fi os.FileInfo) (*Model, error) {
+// loadModel loads one bundle file. With mmap enabled and a v3 bundle,
+// the classifier serves straight out of a read-only mapping of the
+// file: the mapping is handed to the classifier as its backing owner,
+// so it is unmapped by the garbage collector only after the last
+// request holding the model finishes (unmap-after-last-reader). Any
+// other bundle version, and any load error, falls back to — or stays
+// on — the copying path, so v1/v2 bundles keep working unchanged.
+func (r *Registry) loadModel(name, path string, fi os.FileInfo) (*Model, error) {
+	m := &Model{
+		Name:     name,
+		Path:     path,
+		LoadedAt: time.Now(),
+		Size:     fi.Size(),
+		ModTime:  fi.ModTime(),
+	}
+	if r.mmap {
+		mapping, err := mmapfile.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("mapping %s: %w", path, err)
+		}
+		data := mapping.Data()
+		if core.IsBundleV3(data) {
+			clf, err := core.LoadClassifierBytes(data, mapping)
+			if err != nil {
+				mapping.Close()
+				return nil, fmt.Errorf("loading %s: %w", path, err)
+			}
+			m.Classifier = clf
+			if mapping.Mapped() {
+				m.MappedBytes = int64(len(data))
+			}
+			return m, nil
+		}
+		// v1/v2: decode from the mapped bytes (one read either way),
+		// then release the mapping — the classifier owns heap copies.
+		clf, err := core.LoadClassifier(bytes.NewReader(data))
+		mapping.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		m.Classifier = clf
+		return m, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -311,12 +391,6 @@ func loadModel(name, path string, fi os.FileInfo) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("loading %s: %w", path, err)
 	}
-	return &Model{
-		Name:       name,
-		Path:       path,
-		Classifier: clf,
-		LoadedAt:   time.Now(),
-		Size:       fi.Size(),
-		ModTime:    fi.ModTime(),
-	}, nil
+	m.Classifier = clf
+	return m, nil
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"cluseq/internal/core"
+	"cluseq/internal/mmapfile"
 	"cluseq/internal/obs"
 	"cluseq/internal/pst"
 	"cluseq/internal/seq"
@@ -49,6 +51,45 @@ func writeBundle(t *testing.T, dir, name string, clf *core.Classifier) {
 		t.Fatal(err)
 	}
 	if err := clf.Save(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name+Ext)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeBundleV3 saves the classifier atomically as a format-v3 bundle.
+func writeBundleV3(t *testing.T, dir, name string, clf *core.Classifier) {
+	t.Helper()
+	tmp, err := os.CreateTemp(dir, name+".tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.SaveBundle(tmp, core.BundleOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name+Ext)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeGarbage replaces dir/name.cluseq with junk, atomically. Bundle
+// rewrites — even corrupt ones in tests — must go through rename, never
+// an in-place overwrite: a truncating rewrite would yank pages out from
+// under a mapping the registry may still be serving.
+func writeGarbage(t *testing.T, dir, name string) {
+	t.Helper()
+	tmp, err := os.CreateTemp(dir, name+".tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.WriteString("garbage overwrite"); err != nil {
 		t.Fatal(err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -185,7 +226,7 @@ func TestReloadKeepsPreviousOnCorruptRewrite(t *testing.T) {
 	}
 	before, _ := r.Get("m")
 
-	os.WriteFile(filepath.Join(dir, "m"+Ext), []byte("garbage overwrite"), 0o644)
+	writeGarbage(t, dir, "m")
 	bump(t, dir, "m", 2*time.Second)
 	rep, err := r.Reload()
 	if err != nil {
@@ -390,5 +431,134 @@ func TestPublishNameConflicts(t *testing.T) {
 	}
 	if err := r.Publish("x", nil, 1); err == nil {
 		t.Fatal("nil classifier accepted")
+	}
+}
+
+// TestMmapServesV3 pins zero-copy serving: a v3 bundle loaded with mmap
+// enabled reports its mapped size, classifies correctly, and the
+// mapped-bytes gauge tracks the snapshot total. v2 bundles in the same
+// directory load through the copying fallback.
+func TestMmapServesV3(t *testing.T) {
+	dir := t.TempDir()
+	writeBundleV3(t, dir, "v3", makeClassifier(t, "abababab", "abab"))
+	writeBundle(t, dir, "v2", makeClassifier(t, "cdcdcdcd"))
+
+	r, rep, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loaded) != 2 {
+		t.Fatalf("loaded %v, want both bundles", rep)
+	}
+	m3, _ := r.Get("v3")
+	m2, _ := r.Get("v2")
+	if m2.MappedBytes != 0 {
+		t.Fatalf("v2 bundle reports MappedBytes %d, want 0 (copying fallback)", m2.MappedBytes)
+	}
+	fi, err := os.Stat(filepath.Join(dir, "v3"+Ext))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.MappedBytes != 0 && m3.MappedBytes != fi.Size() {
+		t.Fatalf("v3 MappedBytes %d, want file size %d", m3.MappedBytes, fi.Size())
+	}
+	for _, m := range []*Model{m2, m3} {
+		if _, err := m.Classifier.ClassifyString("abcd"); err != nil {
+			t.Fatalf("%s: classify: %v", m.Name, err)
+		}
+	}
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+	if got := reg.Gauge("cluseq_registry_mapped_bytes").Value(); got != float64(m3.MappedBytes) {
+		t.Fatalf("mapped_bytes gauge %v, want %d", got, m3.MappedBytes)
+	}
+}
+
+// TestMmapDisabled: OpenWith(Options{}) must never map, even for v3.
+func TestMmapDisabled(t *testing.T) {
+	dir := t.TempDir()
+	writeBundleV3(t, dir, "m", makeClassifier(t, "abab"))
+	r, _, err := OpenWith(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := r.Get("m")
+	if !ok || m.MappedBytes != 0 {
+		t.Fatalf("model %+v, ok=%v: want loaded without a mapping", m, ok)
+	}
+	if _, err := m.Classifier.ClassifyString("abab"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMmapUnmapAfterSwap pins the unmap-after-last-reader contract
+// across a hot reload: after a v3 bundle is replaced and the last
+// holder of the old model lets go, garbage collection alone releases
+// the old mapping — and the old model stays fully usable until then.
+func TestMmapUnmapAfterSwap(t *testing.T) {
+	dir := t.TempDir()
+	writeBundleV3(t, dir, "m", makeClassifier(t, "abababab", "abab"))
+	base := mmapfile.MappedBytes()
+	r, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := r.Get("m")
+	if old.MappedBytes == 0 {
+		t.Skip("no OS mapping on this platform; unmap path is untestable")
+	}
+
+	writeBundleV3(t, dir, "m", makeClassifier(t, "cdcdcdcd", "cdcd"))
+	bump(t, dir, "m", 2*time.Second)
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := r.Get("m")
+	if fresh == old {
+		t.Fatal("reload did not swap the model")
+	}
+	// The displaced model must keep serving its (still-mapped) bytes for
+	// in-flight readers.
+	if _, err := old.Classifier.ClassifyString("abab"); err != nil {
+		t.Fatalf("old model broke while still referenced: %v", err)
+	}
+
+	old = nil // last reader gone
+	target := base + fresh.MappedBytes
+	deadline := time.Now().Add(5 * time.Second)
+	for mmapfile.MappedBytes() > target {
+		if time.Now().After(deadline) {
+			t.Fatalf("old mapping never released: MappedBytes %d, want ≤ %d",
+				mmapfile.MappedBytes(), target)
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := fresh.Classifier.ClassifyString("cdcd"); err != nil {
+		t.Fatalf("live model broke after old mapping released: %v", err)
+	}
+}
+
+// TestMmapCorruptV3Rejected: a corrupt v3 rewrite must keep the
+// previous mapped version in service, same as the copying path.
+func TestMmapCorruptV3Rejected(t *testing.T) {
+	dir := t.TempDir()
+	writeBundleV3(t, dir, "m", makeClassifier(t, "abab"))
+	r, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := r.Get("m")
+	writeGarbage(t, dir, "m")
+	bump(t, dir, "m", 2*time.Second)
+	rep, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Failed["m"]; !ok {
+		t.Fatalf("report should record the failed load: %+v", rep)
+	}
+	if after, ok := r.Get("m"); !ok || after != before {
+		t.Fatal("corrupt rewrite must keep the previous good version in service")
 	}
 }

@@ -152,6 +152,7 @@ func (s *Server) updateModelGauges() {
 		reg.Gauge("cluseqd_model_clusters", "model", m.Name).Set(float64(info.Clusters))
 		reg.Gauge("cluseqd_model_pst_nodes", "model", m.Name).Set(float64(info.TotalNodes))
 		reg.Gauge("cluseqd_model_threshold", "model", m.Name).Set(info.Threshold)
+		reg.Gauge("cluseqd_model_mapped_bytes", "model", m.Name).Set(float64(m.MappedBytes))
 	}
 }
 

@@ -107,6 +107,17 @@ type Config struct {
 	// 0 uses GOMAXPROCS, 1 forces serial scoring. Any value produces
 	// bit-identical cluster models.
 	Workers int
+	// Resume, when non-nil, seeds the engine from a previously published
+	// snapshot instead of starting empty: its trees (the bundle must
+	// have been saved with core.BundleOptions.WithTrees) become the
+	// initial clusters, its background and threshold carry over, and
+	// version numbering continues from its PublishedVersion so a
+	// restarted daemon never republishes a stale version number. The
+	// classifier itself is not mutated — the engine clones the trees —
+	// so the caller may keep serving it. Symbol counts are not
+	// persisted: the background holds until fresh stream counts replace
+	// it at the first consolidation.
+	Resume *core.Classifier
 	// Publish, when non-nil, receives each consolidation's frozen
 	// classifier together with its monotonically increasing version.
 	// Called under the engine mutex — implementations must not call back
@@ -328,6 +339,11 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.met = newStreamMetrics(cfg.Obs)
 	e.met.threshold.Set(cfg.SimilarityThreshold)
+	if cfg.Resume != nil {
+		if err := e.adoptResume(cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.FlushInterval > 0 {
 		e.done = make(chan struct{})
 		e.wg.Add(1)
@@ -368,6 +384,54 @@ func (e *Engine) flushLoop() {
 			e.mu.Unlock()
 		}
 	}
+}
+
+// adoptResume rebuilds the engine's live state from a persisted
+// snapshot (see Config.Resume). Resumed clusters get ids 0..n-1 in
+// bundle order and a size of MinClusterSize so the dissolve rule does
+// not treat them as stillborn the moment they return.
+func (e *Engine) adoptResume(clf *core.Classifier) error {
+	trees := clf.Trees()
+	if len(trees) == 0 {
+		return fmt.Errorf("stream: Resume classifier carries no trees; persist bundles with core.BundleOptions.WithTrees")
+	}
+	info := clf.Info()
+	if info.Alphabet != e.cfg.Alphabet.String() {
+		return fmt.Errorf("stream: Resume alphabet %q does not match engine alphabet %q", info.Alphabet, e.cfg.Alphabet.String())
+	}
+	if info.RawSimilarity != e.cfg.RawSimilarity {
+		return fmt.Errorf("stream: Resume raw-similarity %v does not match engine configuration %v", info.RawSimilarity, e.cfg.RawSimilarity)
+	}
+	bg := clf.Background()
+	if len(bg) != e.cfg.Alphabet.Size() {
+		return fmt.Errorf("stream: Resume background has %d symbols, engine alphabet %d", len(bg), e.cfg.Alphabet.Size())
+	}
+	want := e.newTree().Config()
+	for i, t := range trees {
+		if got := t.Config(); got.AlphabetSize != want.AlphabetSize || got.MaxDepth != want.MaxDepth {
+			return fmt.Errorf("stream: Resume tree %d trained with alphabet %d depth %d, engine wants alphabet %d depth %d (consolidation merges would mix incompatible trees)",
+				i, got.AlphabetSize, got.MaxDepth, want.AlphabetSize, want.MaxDepth)
+		}
+	}
+	copy(e.background, bg)
+	for i, t := range trees {
+		c := &scluster{
+			id:   i,
+			tree: t.Clone(),
+			size: int64(e.cfg.MinClusterSize),
+		}
+		c.snap = c.tree.CompileSnapshot(e.background)
+		e.clusters = append(e.clusters, c)
+	}
+	e.nextID = len(trees)
+	if info.Threshold > 0 {
+		e.thr.LogT = math.Log(info.Threshold)
+	}
+	e.version = clf.PublishedVersion()
+	e.met.clusters.Set(float64(len(e.clusters)))
+	e.met.publishedVersion.Set(float64(e.version))
+	e.met.threshold.Set(e.thr.Threshold())
+	return nil
 }
 
 func (e *Engine) newTree() *pst.Tree {

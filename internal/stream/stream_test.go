@@ -201,6 +201,139 @@ func TestPublishVersionsMonotonic(t *testing.T) {
 	}
 }
 
+// TestResumeFromPersistedBundle pins the stream durability loop: a
+// published snapshot survives a with-trees bundle round trip, seeds a
+// fresh engine, and the resumed engine keeps the cluster models, the
+// threshold, and the version counter.
+func TestResumeFromPersistedBundle(t *testing.T) {
+	alphabet := seq.MustAlphabet("abcd")
+	cfg := streamTestConfig(t, alphabet)
+	cfg.ConsolidateEvery = 8
+	var lastClf *core.Classifier
+	var lastVersion uint64
+	cfg.Publish = func(clf *core.Classifier, version uint64) {
+		lastClf, lastVersion = clf, version
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			e.IngestString("abababababab")
+		} else {
+			e.IngestString("cdcdcdcdcdcd")
+		}
+	}
+	e.ConsolidateNow()
+	e.Close()
+	if lastClf == nil || lastVersion == 0 {
+		t.Fatal("no snapshot published")
+	}
+
+	// Persist and reload exactly as the daemon's -stream-persist does.
+	var buf bytes.Buffer
+	if err := lastClf.SaveBundle(&buf, core.BundleOptions{WithTrees: true, PublishedVersion: lastVersion}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := core.LoadClassifierBytes(buf.Bytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.PublishedVersion() != lastVersion {
+		t.Fatalf("bundle version %d, want %d", resumed.PublishedVersion(), lastVersion)
+	}
+
+	cfg2 := streamTestConfig(t, alphabet)
+	cfg2.ConsolidateEvery = 8
+	cfg2.Resume = resumed
+	var versions []uint64
+	cfg2.Publish = func(clf *core.Classifier, version uint64) {
+		versions = append(versions, version)
+	}
+	e2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	st := e2.Stats()
+	if st.Clusters != resumed.NumClusters() {
+		t.Fatalf("resumed with %d clusters, want %d", st.Clusters, resumed.NumClusters())
+	}
+	if st.PublishedVersion != lastVersion {
+		t.Fatalf("resumed version %d, want %d", st.PublishedVersion, lastVersion)
+	}
+	wantThr := resumed.Info().Threshold
+	if diff := st.Threshold - wantThr; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("resumed threshold %v, want %v", st.Threshold, wantThr)
+	}
+	// A sequence from a resumed cluster's family must be accepted into a
+	// resumed cluster (ids 0..n-1), not found a duplicate.
+	if v := e2.IngestString("abababababab"); v.Status != StatusAccepted || v.Cluster >= resumed.NumClusters() {
+		t.Fatalf("resumed engine verdict %+v, want accepted into a resumed cluster", v)
+	}
+	for i := 0; i < 16; i++ {
+		e2.IngestString("cdcdcdcdcdcd")
+	}
+	if len(versions) == 0 || versions[0] != lastVersion+1 {
+		t.Fatalf("post-resume versions %v, want to continue from %d", versions, lastVersion+1)
+	}
+	// Resume must not have mutated the classifier the caller may still
+	// be serving.
+	if resumed.NumClusters() != st.Clusters {
+		t.Fatal("resume mutated the source classifier")
+	}
+}
+
+// TestResumeRejectsUnusableBundles: treeless and mismatched snapshots
+// must be refused at construction, not half-adopted.
+func TestResumeRejectsUnusableBundles(t *testing.T) {
+	alphabet := seq.MustAlphabet("abcd")
+	cfg := streamTestConfig(t, alphabet)
+	cfg.ConsolidateEvery = 4
+	var lastClf *core.Classifier
+	cfg.Publish = func(clf *core.Classifier, version uint64) { lastClf = clf }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		e.IngestString("abababab")
+	}
+	e.ConsolidateNow()
+	e.Close()
+
+	// Treeless: round-trip without WithTrees strips the trees.
+	var buf bytes.Buffer
+	if err := lastClf.SaveBundle(&buf, core.BundleOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	treeless, err := core.LoadClassifierBytes(buf.Bytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := streamTestConfig(t, alphabet)
+	bad.Resume = treeless
+	if _, err := New(bad); err == nil {
+		t.Fatal("treeless Resume accepted")
+	}
+
+	// Alphabet mismatch.
+	bad = streamTestConfig(t, seq.MustAlphabet("wxyz"))
+	bad.Resume = lastClf
+	if _, err := New(bad); err == nil {
+		t.Fatal("alphabet-mismatched Resume accepted")
+	}
+
+	// PST shape mismatch would poison consolidation merges.
+	bad = streamTestConfig(t, alphabet)
+	bad.MaxDepth = cfg.MaxDepth + 3
+	bad.Resume = lastClf
+	if _, err := New(bad); err == nil {
+		t.Fatal("depth-mismatched Resume accepted")
+	}
+}
+
 // modelBytes serializes every live cluster tree (in creation order) so
 // two engines' final models can be compared bit-for-bit.
 func modelBytes(t *testing.T, e *Engine) []byte {

@@ -145,6 +145,22 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		}
 	}
 
+	// Builtins reached through a selector — package unsafe's, in
+	// practice. unsafe.Slice and friends compile to pointer arithmetic
+	// without allocating (they are how the arena exposes zero-copy typed
+	// views), so they pass; without this branch Callee would misreport
+	// them as dynamic calls.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if b, ok := analysis.ObjOf(pass.Info, sel.Sel).(*types.Builtin); ok {
+			switch b.Name() {
+			case "Add", "Alignof", "Offsetof", "Sizeof", "Slice", "SliceData", "String", "StringData":
+				return
+			}
+			pass.Reportf(call.Pos(), "hot path calls builtin %s", b.Name())
+			return
+		}
+	}
+
 	f := analysis.Callee(pass.Info, call)
 	if f == nil {
 		pass.Reportf(call.Pos(), "dynamic call in hot path")

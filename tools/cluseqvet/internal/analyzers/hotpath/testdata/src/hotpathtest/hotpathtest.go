@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 //cluseq:hotpath
@@ -48,6 +49,13 @@ func alloc(a, b string, bs []byte) string {
 	_ = []int{1}   // want `allocation in hot path: slice literal`
 	_ = point{}    // a by-value struct literal stays on the stack: fine
 	return c
+}
+
+//cluseq:hotpath
+func view(b []byte, n int) []uint32 {
+	p := unsafe.Pointer(&b[0])                             // conversion to unsafe.Pointer: fine
+	p = unsafe.Add(p, uintptr(0)*unsafe.Sizeof(uint32(0))) // package unsafe builtins: fine
+	return unsafe.Slice((*uint32)(p), n)                   // zero-copy reinterpretation, no allocation: fine
 }
 
 //cluseq:hotpath
