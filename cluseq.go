@@ -233,6 +233,17 @@ type (
 	// Options.Tracer to record one span per outer-loop phase per
 	// iteration.
 	Tracer = obs.Tracer
+	// Flight is the request-trace flight recorder: an always-on ring of
+	// retained traces plus a top-K slowest index, with tail-based
+	// sampling. Attach to ServerConfig.Flight (see obs.Flight).
+	Flight = obs.Flight
+	// FlightConfig parameterizes NewFlight.
+	FlightConfig = obs.FlightConfig
+	// TraceFilter selects traces out of a flight dump.
+	TraceFilter = obs.TraceFilter
+	// SLO declares one route's latency/error objective for the
+	// cluseqd_slo_* burn-rate gauges (see ServerConfig.SLOs).
+	SLO = server.SLO
 )
 
 // NewMetrics returns an empty metrics registry.
@@ -241,6 +252,14 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // NewTracer returns a tracer emitting JSONL records to w; the caller
 // owns w and should check Tracer.Err once tracing is done.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewFlight returns a flight recorder; zero-value config fields pick
+// production-safe defaults.
+func NewFlight(cfg FlightConfig) *Flight { return obs.NewFlight(cfg) }
+
+// ParseSLO parses one -slo flag value (see server.ParseSLO for the
+// key=value grammar).
+func ParseSLO(spec string) (SLO, error) { return server.ParseSLO(spec) }
 
 // OpenModelRegistry scans dir and loads every model bundle in it,
 // serving v3 bundles zero-copy from memory maps of the files. The

@@ -26,6 +26,8 @@
 //	        [-stream -stream-alphabet SYMS [-stream-model NAME]
 //	         [-stream-threshold T] [-stream-consolidate N]
 //	         [-stream-flush D] [-stream-persist DIR]] [-trace-out FILE]
+//	        [-trace-ring N] [-trace-topk K] [-trace-sample R]
+//	        [-trace-slow D] [-trace-seed S] [-slo SPEC]...
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -39,7 +41,21 @@
 //	GET  /healthz, /readyz  liveness and readiness
 //	GET  /metrics           request/error/latency/outlier counters (JSON);
 //	                        ?format=prom for Prometheus text exposition
+//	GET  /debug/traces      flight recorder dump: recent and slowest
+//	                        retained request traces (?route=, ?min_ms=)
 //	GET  /debug/pprof/      Go runtime profiles, only with -pprof
+//
+// Every /v1/ request carries a W3C trace context: an inbound traceparent
+// header is adopted (and its sampled flag forces retention), the trace ID
+// is echoed in the X-Trace-ID response header, and retained traces land
+// in the always-on in-memory flight recorder behind GET /debug/traces.
+// Slow (>= -trace-slow) and error traces are always retained; the rest
+// are head-sampled at -trace-sample by a deterministic seeded sampler.
+// With -trace-out every retained trace is appended as JSONL spans, and
+// SIGUSR1 dumps the whole flight recorder to the same sink. Repeatable
+// -slo flags (route=classify,latency=250ms,target=0.99,
+// max_error_rate=0.01) export cluseqd_slo_* burn-rate gauges computed
+// from the route latency histograms at scrape time.
 //
 // On SIGINT or SIGTERM the daemon stops accepting connections and gives
 // in-flight requests up to -drain to complete before exiting.
@@ -56,6 +72,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +83,26 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	os.Exit(run(os.Args[1:], os.Stderr, sig, nil))
+}
+
+// sloFlag collects repeated -slo flags, parsing each spec as it arrives
+// so a malformed objective fails flag parsing (exit 2) with the offending
+// spec in the error, not later at server construction.
+type sloFlag struct {
+	specs []string
+	slos  []cluseq.SLO
+}
+
+func (f *sloFlag) String() string { return strings.Join(f.specs, "; ") }
+
+func (f *sloFlag) Set(spec string) error {
+	slo, err := cluseq.ParseSLO(spec)
+	if err != nil {
+		return err
+	}
+	f.specs = append(f.specs, spec)
+	f.slos = append(f.slos, slo)
+	return nil
 }
 
 // run is main minus process concerns: signals arrive on sig, and the
@@ -93,8 +130,16 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 		streamEvery = fs.Int("stream-consolidate", 0, "streaming consolidation cadence in ingests (0 = default)")
 		streamFlush = fs.Duration("stream-flush", 0, "also consolidate an idle stream on this wall-clock interval (0 = off)")
 		streamDir   = fs.String("stream-persist", "", "persist each published stream snapshot into this directory and resume from it on restart (keep it outside -models; the published name owns the registry slot)")
-		traceOut    = fs.String("trace-out", "", "append JSONL phase spans (streaming consolidation) to this file")
+		traceOut    = fs.String("trace-out", "", "append JSONL spans to this file: streaming consolidation phases plus every retained request trace (and flight-recorder dumps on SIGUSR1)")
+
+		traceRing   = fs.Int("trace-ring", 256, "flight recorder ring size: retained request traces kept for GET /debug/traces")
+		traceTopK   = fs.Int("trace-topk", 16, "flight recorder slowest-request index size (survives ring churn)")
+		traceSample = fs.Float64("trace-sample", 0.01, "head-sampling rate for fast, successful request traces in [0,1]; slow and error traces are always retained")
+		traceSlow   = fs.Duration("trace-slow", 250*time.Millisecond, "duration at or above which a request trace is always retained")
+		traceSeed   = fs.Uint64("trace-seed", 0, "seed for the deterministic trace sampler (0 = default; identical seeds keep identical trace IDs)")
 	)
+	var sloSpecs sloFlag
+	fs.Var(&sloSpecs, "slo", "declare a route SLO exported as cluseqd_slo_* burn-rate gauges, e.g. route=classify,latency=250ms,target=0.99,max_error_rate=0.01 (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -213,6 +258,20 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 		logf("cluseqd: streaming ingest enabled, publishing model %q", name)
 	}
 
+	// The flight recorder is always on: retained request traces are
+	// readable at GET /debug/traces, dumped to -trace-out on SIGUSR1,
+	// and (when -trace-out is set) every retained trace is appended as
+	// JSONL at finish time.
+	flight := cluseq.NewFlight(cluseq.FlightConfig{
+		RingSize:      *traceRing,
+		TopK:          *traceTopK,
+		SampleRate:    *traceSample,
+		SlowThreshold: *traceSlow,
+		Seed:          *traceSeed,
+		Tracer:        tracer,
+		Obs:           met,
+	})
+
 	scfg := cluseq.ServerConfig{
 		Registry:      reg,
 		MaxBatch:      *maxBatch,
@@ -221,6 +280,8 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 		ClassifyDelay: *slow,
 		Obs:           met,
 		Stream:        eng,
+		Flight:        flight,
+		SLOs:          sloSpecs.slos,
 	}
 	if *slow > 0 {
 		logf("cluseqd: WARNING: -slow-classify %v injects artificial latency (testing aid)", *slow)
@@ -265,12 +326,30 @@ func run(args []string, stderr io.Writer, sig <-chan os.Signal, ready chan<- str
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
-	select {
-	case err := <-serveErr:
-		fmt.Fprintln(stderr, "cluseqd:", err)
-		return 1
-	case s := <-sig:
-		logf("cluseqd: %v received, draining for up to %v", s, *drain)
+	// SIGUSR1 dumps the flight recorder to the -trace-out sink without
+	// disturbing serving — the incident-triage path when /debug/traces
+	// is unreachable (e.g. the port is drowning in traffic).
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
+
+serve:
+	for {
+		select {
+		case err := <-serveErr:
+			fmt.Fprintln(stderr, "cluseqd:", err)
+			return 1
+		case <-usr1:
+			if tracer == nil {
+				logf("cluseqd: SIGUSR1 received but no -trace-out sink is configured")
+				continue
+			}
+			n := flight.WriteJSONL(tracer, cluseq.TraceFilter{})
+			logf("cluseqd: SIGUSR1: dumped %d flight-recorder traces to -trace-out", n)
+		case s := <-sig:
+			logf("cluseqd: %v received, draining for up to %v", s, *drain)
+			break serve
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

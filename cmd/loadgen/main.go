@@ -8,6 +8,7 @@
 //
 //	loadgen -target URL -scenario FILE [-out FILE] [-baseline FILE]
 //	        [-workers N] [-validate] [-wait-ready DUR] [-v]
+//	        [-trace-slowest K]
 //	        [-min-throughput-ratio R] [-max-p50-ratio R] [-max-p99-ratio R]
 //	        [-p50-floor-ms MS] [-p99-floor-ms MS] [-max-error-rate R]
 //
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		validate  = fs.Bool("validate", false, "decode classify responses and check result counts match batch sizes")
 		waitReady = fs.Duration("wait-ready", 0, "poll the target's /readyz for up to this long before starting")
 		verbose   = fs.Bool("v", false, "log progress to stderr")
+		traceK    = fs.Int("trace-slowest", 8, "send deterministic traceparent headers and record the K slowest responses' trace IDs in the result (0 = off)")
 
 		minThroughput = fs.Float64("min-throughput-ratio", 0, "fail below baseline×ratio (0 = default 0.7)")
 		maxP50        = fs.Float64("max-p50-ratio", 0, "fail above max(baseline×ratio, p50 floor) (0 = default 6)")
@@ -88,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:      *workers,
 		Validate:     *validate,
 		ScrapeTarget: true,
+		TraceSlowest: *traceK,
 	}
 	if *verbose {
 		r.Logf = func(format string, args ...any) {

@@ -1,0 +1,47 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFractionBelow(t *testing.T) {
+	h, err := New(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.FractionBelow(5); ok {
+		t.Error("empty histogram should report no weight")
+	}
+	// One sample per bucket center: CDF is linear over the domain.
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	// Weight is uniform within a bucket, so x=2.5 covers buckets 0,1
+	// fully (2 samples) plus half of bucket 2 → 2.5/10.
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{-1, 0}, {0, 0}, {10, 1}, {11, 1},
+		{5, 0.5},
+		{2.5, 0.25},
+	}
+	for _, c := range cases {
+		got, ok := h.FractionBelow(c.x)
+		if !ok {
+			t.Fatalf("FractionBelow(%v) reported no weight", c.x)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("FractionBelow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	// Dual to Quantile: FractionBelow(Quantile(q)) ≈ q.
+	for _, q := range []float64{0.1, 0.33, 0.5, 0.9} {
+		v, _ := h.Quantile(q)
+		f, _ := h.FractionBelow(v)
+		if math.Abs(f-q) > 0.05 {
+			t.Errorf("FractionBelow(Quantile(%v)=%v) = %v", q, v, f)
+		}
+	}
+}

@@ -279,6 +279,45 @@ func (h *Histogram) Quantile(q float64) (float64, bool) {
 	return 0, false
 }
 
+// FractionBelow returns the fraction of recorded weight at or below x,
+// interpolating linearly inside the bucket containing x — the CDF read
+// dual to Quantile, with the same one-bucket-width resolution. x at or
+// left of the domain returns 0, at or right of it returns 1 (weight
+// clamped into the edge buckets by Add counts as inside the domain).
+// The boolean result is false when the histogram holds no weight. The
+// SLO burn-rate gauges use it to turn a latency histogram into
+// "fraction of requests within objective".
+func (h *Histogram) FractionBelow(x float64) (float64, bool) {
+	total := 0.0
+	for _, w := range h.buckets {
+		total += w
+	}
+	if total == 0 {
+		return 0, false
+	}
+	switch {
+	case math.IsNaN(x) || x <= h.lo:
+		return 0, true
+	case x >= h.hi:
+		return 1, true
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	pos := (x - h.lo) / width
+	i := int(pos)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	cum := 0.0
+	for j := 0; j < i; j++ {
+		cum += h.buckets[j]
+	}
+	cum += h.buckets[i] * (pos - float64(i))
+	if cum > total {
+		cum = total
+	}
+	return cum / total, true
+}
+
 // String renders a compact textual sketch of the histogram, useful in logs.
 func (h *Histogram) String() string {
 	const bars = "▁▂▃▄▅▆▇█"

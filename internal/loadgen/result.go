@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"cluseq/internal/histogram"
@@ -34,6 +35,16 @@ type RouteStats struct {
 type ServerStats struct {
 	Requests       map[string]int64 `json:"requests,omitempty"`
 	SequencesTotal int64            `json:"sequences_total,omitempty"`
+}
+
+// TraceRef names one request's server-side trace: enough to pull the
+// full span breakdown from the target's GET /debug/traces (or grep the
+// -trace-out JSONL) after the run.
+type TraceRef struct {
+	TraceID   string  `json:"trace_id"`
+	Route     string  `json:"route"`
+	Status    int     `json:"status"`
+	LatencyMs float64 `json:"latency_ms"`
 }
 
 // HostInfo records where a result was measured; baselines are only
@@ -84,6 +95,13 @@ type Result struct {
 
 	// Server is the target's own counters (nil when unscraped).
 	Server *ServerStats `json:"server,omitempty"`
+
+	// SlowestTraces names the K slowest responses' traces, slowest
+	// first (see Runner.TraceSlowest; absent when tracing is off or the
+	// target sends no X-Trace-ID header). Committed baselines omit it —
+	// the measured set varies run to run even though the IDs themselves
+	// are seed-deterministic.
+	SlowestTraces []TraceRef `json:"slowest_traces,omitempty"`
 }
 
 // lateThresholdMs separates scheduling jitter from real dispatch lag.
@@ -103,7 +121,7 @@ type routeSeries struct {
 	latency  *obs.Histogram
 }
 
-func reduce(sc *Scenario, schedule []Request, samples []sample, wall time.Duration) *Result {
+func reduce(sc *Scenario, schedule []Request, samples []sample, wall time.Duration, traceSlowest int) *Result {
 	reg := obs.NewRegistry()
 	series := make(map[string]routeSeries, 4)
 	for _, kind := range []Kind{KindSingle, KindBatch, KindReload, KindIngest} {
@@ -187,7 +205,43 @@ func reduce(sc *Scenario, schedule []Request, samples []sample, wall time.Durati
 		res.ThroughputRPS = float64(res.Overall.Requests) / res.WallSeconds
 	}
 	res.ErrorRate = float64(errorTotal(res)) / float64(res.RequestsSent)
+	res.SlowestTraces = slowestTraces(schedule, samples, traceSlowest)
 	return res
+}
+
+// slowestTraces picks the k slowest traced responses, slowest first,
+// breaking latency ties by schedule index so the selection is
+// deterministic for a fixed set of samples.
+func slowestTraces(schedule []Request, samples []sample, k int) []TraceRef {
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(samples))
+	for i, s := range samples {
+		if s.traceID != "" {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := samples[idx[a]], samples[idx[b]]
+		if sa.latencyMs != sb.latencyMs {
+			return sa.latencyMs > sb.latencyMs
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	refs := make([]TraceRef, 0, len(idx))
+	for _, i := range idx {
+		refs = append(refs, TraceRef{
+			TraceID:   samples[i].traceID,
+			Route:     schedule[i].Kind.Route(),
+			Status:    samples[i].status,
+			LatencyMs: samples[i].latencyMs,
+		})
+	}
+	return refs
 }
 
 // routeStats reads one route's obs series into the result shape.

@@ -30,6 +30,14 @@ type Runner struct {
 	// the run and embeds its request counters in the result, so
 	// client-observed and server-observed counts can be cross-checked.
 	ScrapeTarget bool
+	// TraceSlowest, when positive, sends a deterministic W3C traceparent
+	// on every request (derived from the scenario seed and the schedule
+	// index, so reruns offer identical trace IDs) and records the trace
+	// IDs of the K slowest responses in the result — naming the exact
+	// traces to pull from the target's GET /debug/traces afterwards. The
+	// traceparent is sent unsampled: retention stays the target's own
+	// tail policy, so a load run does not force-retain every request.
+	TraceSlowest int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -41,6 +49,7 @@ type sample struct {
 	latencyMs float64
 	lateMs    float64 // dispatch lag behind the scheduled arrival
 	badResp   bool    // response decoded but failed validation
+	traceID   string  // the response's X-Trace-ID, when tracing is on
 }
 
 // classifyBody mirrors the server's ClassifyRequest JSON shape without
@@ -109,12 +118,12 @@ func (r *Runner) Run(sc *Scenario) (*Result, error) {
 			time.Sleep(wait)
 		}
 		late := time.Since(start) - req.At
-		samples[i] = r.fire(client, sc, seqs, req)
+		samples[i] = r.fire(client, sc, seqs, req, i)
 		samples[i].lateMs = float64(late) / float64(time.Millisecond)
 	})
 	wall := time.Since(start)
 
-	res := reduce(sc, schedule, samples, wall)
+	res := reduce(sc, schedule, samples, wall, r.TraceSlowest)
 	if r.ScrapeTarget {
 		res.Server = r.scrape()
 	}
@@ -123,8 +132,9 @@ func (r *Runner) Run(sc *Scenario) (*Result, error) {
 	return res, nil
 }
 
-// fire sends one scheduled request and reports its outcome.
-func (r *Runner) fire(client *http.Client, sc *Scenario, seqs []string, req Request) sample {
+// fire sends one scheduled request and reports its outcome. idx is the
+// request's schedule index, which keys its deterministic trace context.
+func (r *Runner) fire(client *http.Client, sc *Scenario, seqs []string, req Request, idx int) sample {
 	var (
 		url  string
 		body []byte
@@ -164,12 +174,20 @@ func (r *Runner) fire(client *http.Client, sc *Scenario, seqs []string, req Requ
 		url = r.BaseURL + "/v1/classify"
 	}
 
+	hreq, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return sample{} // unreachable: the URL is built above
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if r.TraceSlowest > 0 {
+		hreq.Header.Set("traceparent", traceparentFor(sc.Seed, idx))
+	}
 	t0 := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Do(hreq)
 	if err != nil {
 		return sample{status: 0, latencyMs: float64(time.Since(t0)) / float64(time.Millisecond)}
 	}
-	s := sample{status: resp.StatusCode}
+	s := sample{status: resp.StatusCode, traceID: resp.Header.Get("X-Trace-ID")}
 	if r.Validate && req.Kind != KindReload && resp.StatusCode == http.StatusOK {
 		// Both classify and ingest answer index-aligned results arrays.
 		var reply classifyReply
@@ -183,6 +201,34 @@ func (r *Runner) fire(client *http.Client, sc *Scenario, seqs []string, req Requ
 	resp.Body.Close()
 	s.latencyMs = float64(time.Since(t0)) / float64(time.Millisecond)
 	return s
+}
+
+// traceparentFor renders request idx's deterministic W3C traceparent:
+// the trace ID is a splitmix64 expansion of (seed, idx), the parent span
+// ID a third round, and the flags byte is 00 (unsampled — the target's
+// tail policy decides retention). The same (seed, idx) always yields the
+// same trace ID, so a rerun can be correlated against a prior run's
+// /debug/traces dump.
+func traceparentFor(seed int64, idx int) string {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(idx)
+	a, b, c := splitmix64(&x), splitmix64(&x), splitmix64(&x)
+	if a == 0 && b == 0 {
+		b = 1 // an all-zero trace ID is invalid per the spec
+	}
+	if c == 0 {
+		c = 1
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-00", a, b, c)
+}
+
+// splitmix64 advances *x and returns the next output of the SplitMix64
+// sequence — the same mixer the daemon's trace sampler uses.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // scrape fetches the target's JSON /metrics for the server-side view.

@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+var traceparentRe = regexp.MustCompile(`^00-[0-9a-f]{32}-[0-9a-f]{16}-00$`)
+
+func TestTraceparentForDeterministicAndValid(t *testing.T) {
+	seen := map[string]bool{}
+	for idx := 0; idx < 256; idx++ {
+		tp := traceparentFor(7, idx)
+		if !traceparentRe.MatchString(tp) {
+			t.Fatalf("traceparentFor(7, %d) = %q, not a valid unsampled traceparent", idx, tp)
+		}
+		if tp != traceparentFor(7, idx) {
+			t.Fatalf("traceparentFor(7, %d) differs between calls", idx)
+		}
+		if seen[tp] {
+			t.Fatalf("traceparentFor(7, %d) = %q collides with an earlier index", idx, tp)
+		}
+		seen[tp] = true
+	}
+	if traceparentFor(7, 0) == traceparentFor(8, 0) {
+		t.Error("different seeds produced the same traceparent")
+	}
+}
+
+// traceStub wraps the regular stub with cluseqd's trace surface: it
+// echoes the inbound traceparent's trace ID as X-Trace-ID on /v1/
+// responses and records whether any traceparent arrived at all.
+type traceStub struct {
+	stubServer
+	mu          sync.Mutex
+	traceparent int // requests that carried the header
+}
+
+func (s *traceStub) handler() http.Handler {
+	inner := s.stubServer.handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			s.mu.Lock()
+			s.traceparent++
+			s.mu.Unlock()
+			if traceparentRe.MatchString(tp) {
+				w.Header().Set("X-Trace-ID", tp[3:35])
+			}
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+func TestRunRecordsSlowestTraces(t *testing.T) {
+	stub := &traceStub{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	sc := e2eScenario()
+	const k = 3
+	r := &Runner{BaseURL: ts.URL, TraceSlowest: k, Logf: t.Logf}
+	res, err := r.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.traceparent == 0 {
+		t.Fatal("no request carried a traceparent header")
+	}
+	if len(res.SlowestTraces) != k {
+		t.Fatalf("got %d slowest traces, want %d", len(res.SlowestTraces), k)
+	}
+	for i, ref := range res.SlowestTraces {
+		if len(ref.TraceID) != 32 {
+			t.Errorf("trace %d: ID %q is not 32 hex", i, ref.TraceID)
+		}
+		if ref.Route == "" || ref.Status != http.StatusOK || ref.LatencyMs <= 0 {
+			t.Errorf("trace %d incomplete: %+v", i, ref)
+		}
+		if i > 0 && ref.LatencyMs > res.SlowestTraces[i-1].LatencyMs {
+			t.Errorf("slowest traces out of order at %d: %v after %v",
+				i, ref.LatencyMs, res.SlowestTraces[i-1].LatencyMs)
+		}
+	}
+}
+
+func TestRunTracingOffSendsNoTraceparent(t *testing.T) {
+	stub := &traceStub{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	r := &Runner{BaseURL: ts.URL, Logf: t.Logf} // TraceSlowest zero: off
+	res, err := r.Run(e2eScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.traceparent != 0 {
+		t.Errorf("%d requests carried traceparent with tracing off", stub.traceparent)
+	}
+	if len(res.SlowestTraces) != 0 {
+		t.Errorf("unexpected slowest traces: %+v", res.SlowestTraces)
+	}
+}

@@ -126,6 +126,11 @@ type Histogram struct {
 	h     *histogram.Histogram
 	count int64
 	sum   float64
+
+	// Last trace-ID exemplar (ObserveExemplar), under the same mutex so
+	// attaching one costs nothing beyond the observation itself.
+	exID  TraceID
+	exVal float64
 }
 
 // Observe records one sample.
@@ -139,6 +144,27 @@ func (h *Histogram) Observe(v float64) {
 	h.h.Add(v)
 	h.count++
 	h.sum += v
+	h.mu.Unlock() //cluseq:allow hotpath: pairs with the Lock above
+}
+
+// ObserveExemplar records one sample and attaches the trace ID as the
+// series' exemplar (last-write-wins), linking the histogram's
+// aggregate shape back to a concrete trace in the flight recorder. A
+// zero trace ID records the sample without touching the exemplar.
+//
+//cluseq:hotpath
+func (h *Histogram) ObserveExemplar(v float64, id TraceID) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock() //cluseq:allow hotpath: one short critical section guards the shared buckets; see package doc
+	h.h.Add(v)
+	h.count++
+	h.sum += v
+	if !id.IsZero() {
+		h.exID = id
+		h.exVal = v
+	}
 	h.mu.Unlock() //cluseq:allow hotpath: pairs with the Lock above
 }
 
@@ -194,6 +220,19 @@ func (h *Histogram) Quantile(q float64) (float64, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.h.Quantile(q)
+}
+
+// FractionBelow returns the fraction of recorded samples at or below x
+// (see histogram.FractionBelow for the interpolation contract). The
+// boolean result is false when no samples were recorded or h is nil.
+// The SLO gauges read "fraction of requests within objective" this way.
+func (h *Histogram) FractionBelow(x float64) (float64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.FractionBelow(x)
 }
 
 // Label is one name=value pair attached to a metric series.
@@ -371,6 +410,13 @@ func (r *Registry) Histogram(name string, lo, hi float64, buckets int, labelPair
 	}).hist
 }
 
+// Exemplar links one histogram series to a concrete trace: the most
+// recent exemplar-bearing observation and its value.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+}
+
 // QuantileValue is one pre-computed quantile of a histogram snapshot.
 type QuantileValue struct {
 	Q     float64 `json:"q"`
@@ -392,6 +438,9 @@ type Metric struct {
 	Count     int64           `json:"count,omitempty"`
 	Sum       float64         `json:"sum,omitempty"`
 	Quantiles []QuantileValue `json:"quantiles,omitempty"`
+	// Exemplar is the series' most recent trace-ID exemplar, when one
+	// was recorded via ObserveExemplar.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // ID returns the series identity (name plus rendered label set).
@@ -438,6 +487,9 @@ func (r *Registry) Snapshot() []Metric {
 				if v, ok := m.hist.h.Quantile(q); ok {
 					sm.Quantiles = append(sm.Quantiles, QuantileValue{Q: q, Value: v})
 				}
+			}
+			if !m.hist.exID.IsZero() {
+				sm.Exemplar = &Exemplar{TraceID: m.hist.exID.String(), Value: m.hist.exVal}
 			}
 			m.hist.mu.Unlock()
 		}

@@ -44,6 +44,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			writeSample(bw, m.Name+"_sum", m.Labels, "", formatFloat(m.Sum))
 			writeSample(bw, m.Name+"_count", m.Labels, "", strconv.FormatInt(m.Count, 10))
+			if m.Exemplar != nil {
+				// The 0.0.4 text format has no exemplar syntax, so emit it
+				// as a comment line: parsers skip it, humans and the CI
+				// trace-identity check can still correlate series → trace.
+				bw.WriteString("# EXEMPLAR ")
+				bw.WriteString(m.ID())
+				bw.WriteString(` trace_id="`)
+				bw.WriteString(m.Exemplar.TraceID)
+				bw.WriteString(`" value=`)
+				bw.WriteString(formatFloat(m.Exemplar.Value))
+				bw.WriteByte('\n')
+			}
 		}
 	}
 	return bw.Flush()

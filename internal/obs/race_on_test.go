@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// gates skip under it because sync.Pool deliberately bypasses its cache
+// in race mode.
+const raceEnabled = true

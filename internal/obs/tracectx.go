@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// fallbackIDCounter backs ID generation when crypto/rand is unavailable.
+var fallbackIDCounter atomic.Uint64
+
+// TraceID is a W3C Trace Context trace identifier: 16 bytes, rendered
+// as 32 lowercase hex digits. The zero value means "no trace".
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+//
+//cluseq:hotpath
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string {
+	var buf [32]byte
+	hex.Encode(buf[:], t[:])
+	return string(buf[:])
+}
+
+// SpanID is a W3C Trace Context span identifier: 8 bytes, rendered as
+// 16 lowercase hex digits. The zero value means "no span".
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string {
+	var buf [16]byte
+	hex.Encode(buf[:], s[:])
+	return string(buf[:])
+}
+
+// TraceContext is the propagated identity of one distributed trace, as
+// carried by the W3C "traceparent" header (version 00).
+type TraceContext struct {
+	// TraceID identifies the whole trace across services.
+	TraceID TraceID
+	// SpanID identifies the caller's span (on ingress) or this process's
+	// span (on egress).
+	SpanID SpanID
+	// Sampled mirrors the trace-flags sampled bit: an upstream that set
+	// it has retained the trace, and this process keeps it too so the
+	// distributed trace has no holes.
+	Sampled bool
+}
+
+// traceparentLen is the exact length of a version-00 traceparent value:
+// "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<trace-id>-<parent-id>-<flags>"). It accepts only version 00
+// with lowercase hex (the spec's canonical form) and rejects the
+// all-zero trace and span IDs, which the spec defines as invalid.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	if len(h) != traceparentLen || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	var tc TraceContext
+	if _, err := hex.Decode(tc.TraceID[:], []byte(h[3:35])); err != nil {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(h[36:52])); err != nil {
+		return TraceContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return TraceContext{}, false
+	}
+	if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+		return TraceContext{}, false
+	}
+	tc.Sampled = flags[0]&0x01 != 0
+	return tc, true
+}
+
+// Traceparent renders the context as a version-00 traceparent value,
+// suitable for an outbound header.
+func (tc TraceContext) Traceparent() string {
+	var buf [traceparentLen]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], tc.TraceID[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], tc.SpanID[:])
+	buf[52] = '-'
+	flags := byte(0)
+	if tc.Sampled {
+		flags = 0x01
+	}
+	hex.Encode(buf[53:55], []byte{flags})
+	return string(buf[:])
+}
+
+// NewTraceID returns a random trace ID. crypto/rand failure degrades to
+// a counter-based ID rather than an error: a trace ID only needs to be
+// unique enough to correlate, and the serving path must never fail over
+// telemetry.
+func NewTraceID() TraceID {
+	var t TraceID
+	fillRandom(t[:])
+	return t
+}
+
+// NewSpanID returns a random span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	fillRandom(s[:])
+	return s
+}
+
+func fillRandom(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		// Fallback: a process-local counter still yields distinct IDs.
+		binary.BigEndian.PutUint64(b[:8], fallbackIDCounter.Add(1))
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	const h = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected a valid header", h)
+	}
+	if got := tc.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace ID = %s", got)
+	}
+	if got := tc.SpanID.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("span ID = %s", got)
+	}
+	if !tc.Sampled {
+		t.Error("sampled flag not parsed")
+	}
+	if got := tc.Traceparent(); got != h {
+		t.Errorf("round trip: got %q want %q", got, h)
+	}
+}
+
+func TestParseTraceparentUnsampled(t *testing.T) {
+	tc, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if !ok || tc.Sampled {
+		t.Fatalf("ok=%v sampled=%v, want ok and unsampled", ok, tc.Sampled)
+	}
+}
+
+func TestParseTraceparentRejectsInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // missing flags
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // wrong version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero span ID
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",  // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736x00f067aa0ba902b7-01",  // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", // trailing junk
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted an invalid header", h)
+		}
+	}
+}
+
+func TestNewIDsAreDistinctAndNonZero(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if id.IsZero() {
+			t.Fatal("NewTraceID returned the zero ID")
+		}
+		s := id.String()
+		if len(s) != 32 || strings.ToLower(s) != s {
+			t.Fatalf("trace ID rendering %q not 32 lowercase hex digits", s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate trace ID %s", s)
+		}
+		seen[s] = true
+	}
+	if NewSpanID().IsZero() {
+		t.Fatal("NewSpanID returned the zero ID")
+	}
+}

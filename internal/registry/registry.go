@@ -183,6 +183,17 @@ func (r *Registry) Get(name string) (*Model, bool) {
 	return m, ok
 }
 
+// GetTraced is Get with the snapshot read recorded as a registry_get
+// span on the request's trace (a no-op on a nil trace). The lookup is
+// one atomic pointer load plus a map hit — the span exists to prove
+// that in production dumps, not because the cost is expected to vary.
+func (r *Registry) GetTraced(tr *obs.RequestTrace, name string) (*Model, bool) {
+	sp := tr.StartSpan("registry_get")
+	m, ok := r.Get(name)
+	sp.End()
+	return m, ok
+}
+
 // Models returns the current snapshot's models sorted by name.
 func (r *Registry) Models() []*Model {
 	snap := *r.snap.Load()

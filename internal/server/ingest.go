@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"cluseq/internal/obs"
 	"cluseq/internal/stream"
 )
 
@@ -43,9 +44,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	tr := obs.TraceFromContext(r.Context())
 	var req IngestRequest
 	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	dec := tr.StartSpan("ingest_decode")
+	err := json.NewDecoder(body).Decode(&req)
+	dec.End()
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.fail(w, r, http.StatusRequestEntityTooLarge, "too_large", "request body exceeds %d bytes", s.maxBodyBytes)
@@ -73,7 +78,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.ingestBatch.Observe(float64(len(seqs)))
 
-	resp := IngestResponse{Results: s.stream.IngestStrings(seqs)}
+	// The ctx-aware ingest records the time queued behind the engine
+	// mutex and the ingest work as separate spans on this request's
+	// trace (plus a consolidation span when this batch triggers one).
+	resp := IngestResponse{Results: s.stream.IngestStringsCtx(r.Context(), seqs)}
 	for _, v := range resp.Results {
 		switch v.Status {
 		case stream.StatusAccepted:
@@ -88,7 +96,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.metrics.ingestLatency.Observe(float64(elapsed) / float64(time.Millisecond))
 	resp.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
+	enc := tr.StartSpan("ingest_encode")
 	writeJSON(w, resp)
+	enc.End()
 }
 
 // handleIngestStats reports the streaming engine's counters and sizes

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cluseq/internal/core"
+	"cluseq/internal/obs"
 	"cluseq/internal/registry"
 	"cluseq/internal/seq"
 	"cluseq/internal/stream"
@@ -26,6 +27,9 @@ func newStreamServer(t *testing.T, consolidateEvery int) (*Server, *stream.Engin
 	if err != nil {
 		t.Fatal(err)
 	}
+	// One metrics registry spans the engine and the server, mirroring
+	// cluseqd's wiring, so /metrics projects the stream series.
+	met := obs.NewRegistry()
 	eng, err := stream.New(stream.Config{
 		Alphabet:            seq.MustAlphabet("abcd"),
 		SimilarityThreshold: 1.05,
@@ -39,12 +43,13 @@ func newStreamServer(t *testing.T, consolidateEvery int) (*Server, *stream.Engin
 				t.Errorf("Publish v%d: %v", version, err)
 			}
 		},
+		Obs: met,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	s, err := New(Config{Registry: reg, Stream: eng})
+	s, err := New(Config{Registry: reg, Stream: eng, Obs: met})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"cluseq/internal/obs"
@@ -61,14 +63,23 @@ func (m *metrics) observeLatency(d time.Duration) {
 }
 
 // observeRoute records one finished request: a per-route count, a
-// per-route/status count, and a per-route latency observation. Called
-// from the outermost middleware, so it sees every endpoint including
-// health and metrics probes. The registry lookup here is a read-locked
-// map hit — registration happened on the first request per series.
-func (m *metrics) observeRoute(route, status string, d time.Duration) {
+// per-route/status count, and a per-route latency observation carrying
+// the request's trace ID as the series exemplar (zero for untraced
+// routes — health and metrics probes). Called from the outermost
+// middleware, so it sees every endpoint. The registry lookup here is a
+// read-locked map hit — registration happened on the first request per
+// series.
+func (m *metrics) observeRoute(route, status string, d time.Duration, exemplar obs.TraceID) {
 	m.reg.Counter("cluseqd_requests_total", "route", route).Inc()
 	m.reg.Counter("cluseqd_responses_total", "route", route, "status", status).Inc()
-	m.reg.Histogram("cluseqd_request_seconds", 0, 5, 500, "route", route).Observe(d.Seconds())
+	m.routeLatency(route).ObserveExemplar(d.Seconds(), exemplar)
+}
+
+// routeLatency is the single registration site for the per-route
+// request-seconds family; the SLO gauges read the same handles back at
+// scrape time, so the two must never drift apart in domain or labels.
+func (m *metrics) routeLatency(route string) *obs.Histogram {
+	return m.reg.Histogram("cluseqd_request_seconds", 0, 5, 500, "route", route)
 }
 
 func (m *metrics) countError(class string) {
@@ -87,7 +98,24 @@ func (m *metrics) snapshot() map[string]any {
 	requests := map[string]int64{}
 	errors := map[string]int64{}
 	perModel := map[string]int64{}
+	streamSeries := map[string]any{}
 	for _, mt := range m.reg.Snapshot() {
+		// Project every cluseq_stream_* family (engine and its pool) by
+		// full family name, so a series added to the engine later shows
+		// up here without another projection fix. All stream series are
+		// unlabeled; TestSnapshotProjectsStreamSeries diffs this map
+		// against the Prometheus exposition.
+		if strings.HasPrefix(mt.Name, "cluseq_stream_") {
+			if mt.Kind == obs.KindHistogram {
+				h := map[string]any{"count": mt.Count, "sum": mt.Sum}
+				for _, qv := range mt.Quantiles {
+					h[fmt.Sprintf("p%g", qv.Q*100)] = qv.Value
+				}
+				streamSeries[mt.Name] = h
+			} else {
+				streamSeries[mt.Name] = mt.Value
+			}
+		}
 		switch mt.Name {
 		case "cluseqd_requests_total":
 			if r := mt.Label("route"); r != "" {
@@ -113,7 +141,7 @@ func (m *metrics) snapshot() map[string]any {
 	if seqs > 0 {
 		rate = float64(outliers) / float64(seqs)
 	}
-	return map[string]any{
+	out := map[string]any{
 		"uptime_seconds":  time.Since(m.start).Seconds(),
 		"requests":        requests,
 		"errors":          errors,
@@ -128,4 +156,10 @@ func (m *metrics) snapshot() map[string]any {
 			"p99":   p99,
 		},
 	}
+	// Key absent entirely when streaming is disabled, preserving the
+	// pre-stream JSON shape for existing scrapers.
+	if len(streamSeries) > 0 {
+		out["stream"] = streamSeries
+	}
+	return out
 }

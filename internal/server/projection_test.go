@@ -1,0 +1,99 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotProjectsStreamSeries is the projection-completeness gate:
+// every cluseq_stream_* family in the Prometheus exposition must also
+// appear under the legacy JSON endpoint's "stream" key. The JSON
+// projection previously whitelisted series by name and silently dropped
+// families added to the engine later; projecting by prefix and diffing
+// against the exposition here keeps the two views from drifting again.
+func TestSnapshotProjectsStreamSeries(t *testing.T) {
+	s, _ := newStreamServer(t, 4)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Enough ingests to trip a consolidation, so the consolidation and
+	// pool series are all live, then one classify against the published
+	// stream model to touch the serving side too.
+	for i := 0; i < 6; i++ {
+		resp, _, data := postIngest(t, ts.URL, `{"sequences":["abababab","babababa"]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d: %s", resp.StatusCode, data)
+		}
+	}
+
+	promFamilies := map[string]bool{}
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(prom), "\n") {
+		// "# TYPE <family> <kind>" names every exported family exactly.
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			if strings.HasPrefix(name, "cluseq_stream_") {
+				promFamilies[name] = true
+			}
+		}
+	}
+	if len(promFamilies) == 0 {
+		t.Fatal("no cluseq_stream_* families in the Prometheus exposition; did the engine metrics move?")
+	}
+
+	var legacy struct {
+		Stream map[string]json.RawMessage `json:"stream"`
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		t.Fatalf("bad /metrics JSON: %v", err)
+	}
+
+	for name := range promFamilies {
+		if _, ok := legacy.Stream[name]; !ok {
+			t.Errorf("family %s exported to Prometheus but missing from the JSON stream projection", name)
+		}
+	}
+	for name := range legacy.Stream {
+		if !promFamilies[name] {
+			t.Errorf("JSON stream projection has %s with no matching Prometheus family", name)
+		}
+	}
+}
+
+// TestSnapshotOmitsStreamKeyWhenDisabled pins the legacy JSON shape:
+// with streaming off, the "stream" key is absent entirely, exactly as it
+// was before the engine existed.
+func TestSnapshotOmitsStreamKeyWhenDisabled(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad /metrics JSON: %v", err)
+	}
+	if _, ok := out["stream"]; ok {
+		t.Error(`"stream" key present with streaming disabled; legacy scrapers expect it absent`)
+	}
+}

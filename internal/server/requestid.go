@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"cluseq/internal/obs"
 )
 
 // ctxKey is the private context-key type for request-scoped values.
@@ -95,14 +97,25 @@ func routeOf(path string) string {
 		return "readyz"
 	case "/metrics":
 		return "metrics"
+	case "/debug/traces":
+		return "debug_traces"
 	default:
 		return "other"
 	}
 }
 
 // withRequestID is the outermost middleware: it assigns (or adopts) the
-// request's correlation ID, echoes it on the response, and emits one
-// access-log line and one set of per-route observations per request.
+// request's correlation ID, echoes it on the response, begins the
+// request trace on API routes (adopting an inbound W3C traceparent and
+// echoing the trace ID as X-Trace-ID), and emits one access-log line
+// and one set of per-route observations per request.
+//
+// Note the asymmetry with finishTrace: the trace BEGINS here — so the
+// X-Trace-ID header is set before any body bytes go out and the context
+// carries the trace into the handler — but it FINISHES inside the
+// timeout wrapper, on the handler's own goroutine (see finishTrace).
+// This middleware therefore never touches the trace after ServeHTTP
+// returns; it works from the identity captured at Begin time.
 func (s *Server) withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
@@ -110,19 +123,32 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 			id = newRequestID()
 		}
 		w.Header().Set(RequestIDHeader, id)
+		ctx := context.WithValue(r.Context(), requestIDKey, id)
+		route := routeOf(r.URL.Path)
+		var exemplar obs.TraceID
+		traceSuffix := ""
+		if traced(r.URL.Path) {
+			inbound, _ := obs.ParseTraceparent(r.Header.Get(TraceparentHeader))
+			if tr := s.flight.Begin(route, inbound); tr != nil {
+				exemplar = tr.TraceID()
+				hexID := exemplar.String()
+				w.Header().Set(TraceIDHeader, hexID)
+				ctx = obs.ContextWithTrace(ctx, tr)
+				traceSuffix = " trace=" + hexID
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		s.metrics.inflight.Add(1)
 		start := time.Now()
-		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+		next.ServeHTTP(sw, r.WithContext(ctx))
 		elapsed := time.Since(start)
 		s.metrics.inflight.Add(-1)
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK // handler wrote nothing; net/http sends 200
 		}
-		route := routeOf(r.URL.Path)
-		s.metrics.observeRoute(route, strconv.Itoa(status), elapsed)
-		s.logf("server: %s %s %d %.1fms id=%s", r.Method, r.URL.Path, status,
-			float64(elapsed)/float64(time.Millisecond), id)
+		s.metrics.observeRoute(route, strconv.Itoa(status), elapsed, exemplar)
+		s.logf("server: %s %s %d %.1fms id=%s%s", r.Method, r.URL.Path, status,
+			float64(elapsed)/float64(time.Millisecond), id, traceSuffix)
 	})
 }

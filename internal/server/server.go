@@ -75,6 +75,16 @@ type Config struct {
 	// and asserts the latency-regression comparator fires (see
 	// benchmarks/README.md). Never set it in production.
 	ClassifyDelay time.Duration
+	// Flight, when non-nil, is the request-trace flight recorder the
+	// server begins and finishes traces against (see obs.Flight). Nil
+	// builds a default always-on recorder (256-trace ring, top-16
+	// slowest, 1% head sampling, 250ms slow threshold) wired to Obs —
+	// pass a configured one to change sampling or attach a JSONL sink.
+	Flight *obs.Flight
+	// SLOs declares the service-level objectives exported as
+	// cluseqd_slo_* burn-rate gauges (see SLO and ParseSLO). Empty means
+	// no SLO series.
+	SLOs []SLO
 	// Stream, when non-nil, enables POST /v1/ingest and
 	// GET /v1/ingest/stats against the given incremental clustering
 	// engine. The engine publishes its snapshots into Registry itself
@@ -94,6 +104,9 @@ type Server struct {
 	pool          *pool.Pool
 	metrics       *metrics
 	stream        *stream.Engine
+	flight        *obs.Flight
+	slos          []SLO
+	goStats       *goStats
 	logf          func(format string, args ...any)
 
 	// classifyHook, when non-nil, runs at the start of every classify
@@ -131,8 +144,14 @@ func New(cfg Config) (*Server, error) {
 		pool:          pool.New(cfg.Workers - 1),
 		metrics:       newMetrics(cfg.Obs),
 		stream:        cfg.Stream,
+		flight:        cfg.Flight,
+		slos:          cfg.SLOs,
 		logf:          logf,
 	}
+	if s.flight == nil {
+		s.flight = obs.NewFlight(obs.FlightConfig{Obs: s.metrics.reg})
+	}
+	s.goStats = newGoStats(s.metrics.reg)
 	s.pool.Instrument(s.metrics.reg, "cluseqd_pool")
 	s.reg.Instrument(s.metrics.reg)
 	s.updateModelGauges()
@@ -164,18 +183,22 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("POST /v1/models/reload", s.handleReload)
 	api.HandleFunc("POST /v1/ingest", s.handleIngest)
 	api.HandleFunc("GET /v1/ingest/stats", s.handleIngestStats)
-	var apiHandler http.Handler = api
+	// finishTrace sits inside the timeout wrapper so a timed-out
+	// handler's trace still finishes on its own goroutine (see
+	// finishTrace for the pooling-safety argument).
+	var apiHandler http.Handler = s.finishTrace(api)
 	if s.timeout > 0 {
 		// TimeoutHandler replies 503 and discards the handler's late
 		// writes; the JSON body keeps the error shape uniform.
 		msg, _ := json.Marshal(errorBody{Error: "request timed out"})
-		apiHandler = http.TimeoutHandler(api, s.timeout, string(msg))
+		apiHandler = http.TimeoutHandler(apiHandler, s.timeout, string(msg))
 	}
 	root := http.NewServeMux()
 	root.Handle("/v1/", apiHandler)
 	root.HandleFunc("GET /healthz", s.handleHealthz)
 	root.HandleFunc("GET /readyz", s.handleReadyz)
 	root.HandleFunc("GET /metrics", s.handleMetrics)
+	root.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	return s.withRequestID(root)
 }
 
@@ -259,10 +282,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		time.Sleep(s.classifyDelay)
 	}
 	start := time.Now()
+	tr := obs.TraceFromContext(r.Context())
 
 	var req ClassifyRequest
 	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	dec := tr.StartSpan("classify_decode")
+	err := json.NewDecoder(body).Decode(&req)
+	dec.End()
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.fail(w, r, http.StatusRequestEntityTooLarge, "too_large", "request body exceeds %d bytes", s.maxBodyBytes)
@@ -293,7 +320,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.batchSize.Observe(float64(len(seqs)))
-	m, ok := s.reg.Get(req.Model)
+	m, ok := s.reg.GetTraced(tr, req.Model)
 	if !ok {
 		s.fail(w, r, http.StatusNotFound, "not_found", "unknown model %q", req.Model)
 		return
@@ -304,7 +331,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// registry map but cannot mutate or retire this classifier.
 	ctx := r.Context()
 	results := make([]ClassifyResult, len(seqs))
+	scan := tr.StartSpan("classify_scan")
 	s.pool.Run(len(seqs), func(i int) {
+		// Each item's arena scan is a child span; concurrent workers
+		// claim distinct slots lock-free, and a batch larger than the
+		// span cap degrades to a dropped-spans count, never blocking.
+		msp := tr.StartSpanUnder(scan, "classify_model")
+		defer msp.End()
 		if ctx.Err() != nil {
 			results[i] = ClassifyResult{Cluster: -1, Error: "request canceled"}
 			return
@@ -321,6 +354,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			Memberships: a.Memberships,
 		}
 	})
+	scan.End()
 
 	resp := ClassifyResponse{Model: req.Model, Results: results}
 	classified := 0
@@ -339,7 +373,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.metrics.observeLatency(elapsed)
 	resp.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
+	enc := tr.StartSpan("classify_encode")
 	writeJSON(w, resp)
+	enc.End()
 }
 
 // ModelEntry is one model in the GET /v1/models listing.
@@ -400,6 +436,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "prom" {
 		s.metrics.uptime.Set(time.Since(s.metrics.start).Seconds())
+		// Scrape-time refreshes: SLO burn rates from the route
+		// histograms, Go runtime telemetry from runtime/metrics.
+		s.updateSLOGauges()
+		s.goStats.refresh()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.metrics.reg.WritePrometheus(w); err != nil {
 			s.logf("server: writing prometheus exposition: %v", err)

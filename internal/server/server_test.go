@@ -24,7 +24,7 @@ import (
 
 // makeClassifier builds a tiny single-cluster classifier trained on the
 // given strings over alphabet "abcd".
-func makeClassifier(t *testing.T, trains ...string) *core.Classifier {
+func makeClassifier(t testing.TB, trains ...string) *core.Classifier {
 	t.Helper()
 	db := seq.NewDatabase(seq.MustAlphabet("abcd"))
 	tree := pst.MustNew(pst.Config{AlphabetSize: 4, MaxDepth: 4, Significance: 1})
@@ -49,7 +49,7 @@ func makeClassifier(t *testing.T, trains ...string) *core.Classifier {
 	return clf
 }
 
-func writeBundle(t *testing.T, dir, name string, clf *core.Classifier) {
+func writeBundle(t testing.TB, dir, name string, clf *core.Classifier) {
 	t.Helper()
 	tmp, err := os.CreateTemp(dir, name+".tmp")
 	if err != nil {
@@ -68,7 +68,7 @@ func writeBundle(t *testing.T, dir, name string, clf *core.Classifier) {
 
 // newTestServer builds a registry over a fresh dir holding one model
 // named "m" trained on alternating ab, and a Server over it.
-func newTestServer(t *testing.T, cfg Config) (*Server, string) {
+func newTestServer(t testing.TB, cfg Config) (*Server, string) {
 	t.Helper()
 	dir := t.TempDir()
 	writeBundle(t, dir, "m", makeClassifier(t, "abababababab", "babababa"))

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"cluseq/internal/obs"
+)
+
+// SLO declares one route's service-level objective: a latency target
+// ("Target fraction of requests complete within Latency") and/or an
+// error-rate ceiling. The daemon turns each declared SLO into
+// cluseqd_slo_* burn-rate gauges computed at scrape time from the route
+// histograms and status counters it already maintains — no extra
+// request-path cost.
+//
+// Burn rate semantics: 1.0 means the route is consuming its error
+// budget exactly as fast as the objective allows; above 1.0 the budget
+// is burning down (sustained, the SLO will be missed), below it there
+// is headroom. The windows are cumulative over the process lifetime —
+// alerting-style multi-window burn rates are the scraper's job
+// (rate() over these same histograms); the daemon's gauges exist so a
+// single scrape or incident dump answers "are we inside objective"
+// without PromQL.
+type SLO struct {
+	// Route is the route label the objective applies to (see routeOf).
+	Route string
+	// Latency and Target declare the latency objective: Target fraction
+	// of requests within Latency. Zero Latency disables the latency
+	// objective.
+	Latency time.Duration
+	Target  float64
+	// MaxErrorRate, when positive, declares the error objective: the
+	// ceiling on the 5xx fraction of responses.
+	MaxErrorRate float64
+}
+
+// ParseSLO parses one -slo flag value: comma-separated key=value pairs
+// with keys route (required), latency (Go duration), target (fraction,
+// default 0.99), and max_error_rate (fraction). At least one of latency
+// and max_error_rate must be given, e.g.
+//
+//	route=classify,latency=250ms,target=0.99,max_error_rate=0.01
+func ParseSLO(spec string) (SLO, error) {
+	s := SLO{Target: 0.99}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || v == "" {
+			return SLO{}, fmt.Errorf("slo: %q is not key=value", part)
+		}
+		switch k {
+		case "route":
+			s.Route = v
+		case "latency":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return SLO{}, fmt.Errorf("slo: bad latency %q (want a positive Go duration like 250ms)", v)
+			}
+			s.Latency = d
+		case "target":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 || f >= 1 {
+				return SLO{}, fmt.Errorf("slo: bad target %q (want a fraction in (0, 1))", v)
+			}
+			s.Target = f
+		case "max_error_rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 || f >= 1 {
+				return SLO{}, fmt.Errorf("slo: bad max_error_rate %q (want a fraction in (0, 1))", v)
+			}
+			s.MaxErrorRate = f
+		default:
+			return SLO{}, fmt.Errorf("slo: unknown key %q (want route, latency, target, max_error_rate)", k)
+		}
+	}
+	if s.Route == "" {
+		return SLO{}, fmt.Errorf("slo: missing route=")
+	}
+	if s.Latency <= 0 && s.MaxErrorRate <= 0 {
+		return SLO{}, fmt.Errorf("slo: route %s declares no objective (set latency= and/or max_error_rate=)", s.Route)
+	}
+	return s, nil
+}
+
+// updateSLOGauges recomputes every declared SLO's gauges from the live
+// route histograms and status counters. Called at each Prometheus
+// scrape, mirroring the uptime gauge.
+func (s *Server) updateSLOGauges() {
+	if len(s.slos) == 0 {
+		return
+	}
+	var snap []obs.Metric // status counters, fetched once, only if needed
+	for _, slo := range s.slos {
+		reg := s.metrics.reg
+		if slo.Latency > 0 {
+			reg.Gauge("cluseqd_slo_latency_target", "route", slo.Route).Set(slo.Target)
+			reg.Gauge("cluseqd_slo_latency_threshold_seconds", "route", slo.Route).Set(slo.Latency.Seconds())
+			h := s.metrics.routeLatency(slo.Route)
+			if within, ok := h.FractionBelow(slo.Latency.Seconds()); ok {
+				reg.Gauge("cluseqd_slo_latency_within", "route", slo.Route).Set(within)
+				reg.Gauge("cluseqd_slo_latency_burn_rate", "route", slo.Route).Set((1 - within) / (1 - slo.Target))
+			}
+		}
+		if slo.MaxErrorRate > 0 {
+			reg.Gauge("cluseqd_slo_max_error_rate", "route", slo.Route).Set(slo.MaxErrorRate)
+			if snap == nil {
+				snap = reg.Snapshot()
+			}
+			total, errs := responseCounts(snap, slo.Route)
+			if total > 0 {
+				ratio := float64(errs) / float64(total)
+				reg.Gauge("cluseqd_slo_error_ratio", "route", slo.Route).Set(ratio)
+				reg.Gauge("cluseqd_slo_error_burn_rate", "route", slo.Route).Set(ratio / slo.MaxErrorRate)
+			}
+		}
+	}
+}
+
+// responseCounts sums the route's cluseqd_responses_total series into
+// (all responses, 5xx responses).
+func responseCounts(snap []obs.Metric, route string) (total, errs int64) {
+	for _, m := range snap {
+		if m.Name != "cluseqd_responses_total" || m.Label("route") != route {
+			continue
+		}
+		n := int64(m.Value)
+		total += n
+		if st := m.Label("status"); len(st) == 3 && st[0] == '5' {
+			errs += n
+		}
+	}
+	return total, errs
+}

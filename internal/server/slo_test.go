@@ -1,0 +1,198 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cluseq/internal/obs"
+)
+
+func TestParseSLO(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    SLO
+		wantErr bool
+	}{
+		{
+			spec: "route=classify,latency=250ms,target=0.99,max_error_rate=0.01",
+			want: SLO{Route: "classify", Latency: 250 * time.Millisecond, Target: 0.99, MaxErrorRate: 0.01},
+		},
+		{
+			// Target defaults to 0.99 when only latency is declared.
+			spec: "route=ingest,latency=1s",
+			want: SLO{Route: "ingest", Latency: time.Second, Target: 0.99},
+		},
+		{
+			// Error-rate-only objective, no latency target.
+			spec: "route=classify,max_error_rate=0.001",
+			want: SLO{Route: "classify", Target: 0.99, MaxErrorRate: 0.001},
+		},
+		{
+			// Whitespace around pairs is tolerated (shell-quoted flags).
+			spec: "route=classify, latency=250ms",
+			want: SLO{Route: "classify", Latency: 250 * time.Millisecond, Target: 0.99},
+		},
+		{spec: "", wantErr: true},
+		{spec: "latency=250ms", wantErr: true},                         // missing route
+		{spec: "route=classify", wantErr: true},                        // no objective
+		{spec: "route=classify,latency=fast", wantErr: true},           // bad duration
+		{spec: "route=classify,latency=-1s", wantErr: true},            // negative duration
+		{spec: "route=classify,latency=1s,target=1.5", wantErr: true},  // target out of (0,1)
+		{spec: "route=classify,latency=1s,target=0", wantErr: true},    // target out of (0,1)
+		{spec: "route=classify,max_error_rate=1", wantErr: true},       // rate out of (0,1)
+		{spec: "route=classify,latency=1s,deadline=2s", wantErr: true}, // unknown key
+		{spec: "route=classify,latency", wantErr: true},                // not key=value
+	}
+	for _, tc := range cases {
+		got, err := ParseSLO(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSLO(%q) = %+v, want error", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSLO(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSLO(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+// gaugeValue pulls one labeled gauge out of a registry snapshot.
+func gaugeValue(t *testing.T, snap []obs.Metric, name, route string) float64 {
+	t.Helper()
+	for _, m := range snap {
+		if m.Name == name && m.Label("route") == route {
+			return m.Value
+		}
+	}
+	t.Fatalf("gauge %s{route=%q} not in snapshot", name, route)
+	return 0
+}
+
+// TestSLOGaugesWithinObjective drives successful classify traffic well
+// under a generous latency objective and checks the scrape-time gauge
+// math: within == 1, latency burn == 0, error ratio == 0.
+func TestSLOGaugesWithinObjective(t *testing.T) {
+	s, _ := newTestServer(t, Config{SLOs: []SLO{{
+		Route:        "classify",
+		Latency:      time.Hour, // nothing is slower than this
+		Target:       0.99,
+		MaxErrorRate: 0.01,
+	}}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, data := postClassify(t, ts.URL, `{"model":"m","sequence":"abababab"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+	}
+	s.updateSLOGauges()
+	snap := s.metrics.reg.Snapshot()
+
+	if v := gaugeValue(t, snap, "cluseqd_slo_latency_target", "classify"); v != 0.99 {
+		t.Errorf("latency_target = %v, want 0.99", v)
+	}
+	if v := gaugeValue(t, snap, "cluseqd_slo_latency_threshold_seconds", "classify"); v != 3600 {
+		t.Errorf("latency_threshold_seconds = %v, want 3600", v)
+	}
+	if v := gaugeValue(t, snap, "cluseqd_slo_latency_within", "classify"); v != 1 {
+		t.Errorf("latency_within = %v, want 1", v)
+	}
+	if v := gaugeValue(t, snap, "cluseqd_slo_latency_burn_rate", "classify"); v != 0 {
+		t.Errorf("latency_burn_rate = %v, want 0", v)
+	}
+	if v := gaugeValue(t, snap, "cluseqd_slo_error_ratio", "classify"); v != 0 {
+		t.Errorf("error_ratio = %v, want 0", v)
+	}
+	if v := gaugeValue(t, snap, "cluseqd_slo_error_burn_rate", "classify"); v != 0 {
+		t.Errorf("error_burn_rate = %v, want 0", v)
+	}
+}
+
+// TestSLOGaugesBurning violates a latency objective on purpose — an
+// impossible "every request within 0" bound puts every observation over
+// threshold — and checks burn exceeds 1. It also checks the error burn
+// math against a route that only ever 5xxes (ingest without -stream).
+func TestSLOGaugesBurning(t *testing.T) {
+	s, _ := newTestServer(t, Config{SLOs: []SLO{
+		{Route: "classify", Latency: time.Nanosecond, Target: 0.99},
+		{Route: "ingest", MaxErrorRate: 0.5},
+	}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, data := postClassify(t, ts.URL, `{"model":"m","sequence":"abababab"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+	}
+	// Streaming is disabled, so every ingest is a 503 — a 100% error
+	// ratio against a 50% budget is a burn rate of 2.
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(`{"sequence":"abab"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	s.updateSLOGauges()
+	snap := s.metrics.reg.Snapshot()
+
+	// No classify request completes within a nanosecond, so the within
+	// fraction sits near 0 and the burn rate near 1/(1-0.99) = 100.
+	if v := gaugeValue(t, snap, "cluseqd_slo_latency_within", "classify"); v > 0.5 {
+		t.Errorf("latency_within = %v, want ~0 under an impossible objective", v)
+	}
+	if v := gaugeValue(t, snap, "cluseqd_slo_latency_burn_rate", "classify"); v <= 1 {
+		t.Errorf("latency_burn_rate = %v, want > 1 (budget burning)", v)
+	}
+	if v := gaugeValue(t, snap, "cluseqd_slo_error_ratio", "ingest"); v != 1 {
+		t.Errorf("error_ratio = %v, want 1", v)
+	}
+	if v := gaugeValue(t, snap, "cluseqd_slo_error_burn_rate", "ingest"); v != 2 {
+		t.Errorf("error_burn_rate = %v, want 2", v)
+	}
+}
+
+// TestSLOGaugesInPromExposition checks the gauges refresh at scrape time
+// and come out as cluseqd_slo_* series, and that the cluseqd_go_*
+// runtime series ride along in the same exposition.
+func TestSLOGaugesInPromExposition(t *testing.T) {
+	s, _ := newTestServer(t, Config{SLOs: []SLO{{Route: "classify", Latency: time.Second}}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postClassify(t, ts.URL, `{"model":"m","sequence":"abababab"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(prom)
+	for _, want := range []string{
+		`cluseqd_slo_latency_burn_rate{route="classify"} `,
+		`cluseqd_slo_latency_within{route="classify"} `,
+		"\ncluseqd_go_goroutines ",
+		"\ncluseqd_go_heap_bytes ",
+		"\ncluseqd_go_sched_latency_p99_seconds ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cluseq/internal/obs"
+)
+
+// TraceIDHeader carries the request's trace ID on every traced
+// response, so a client (the load harness in particular) can name the
+// exact trace to pull from /debug/traces afterwards.
+const TraceIDHeader = "X-Trace-ID"
+
+// TraceparentHeader is the W3C Trace Context ingress/egress header.
+const TraceparentHeader = "traceparent"
+
+// traced reports whether requests to path get a request trace: the API
+// routes only — health, metrics, and debug probes would churn the
+// flight-recorder ring without ever being the request anyone triages.
+func traced(path string) bool {
+	return strings.HasPrefix(path, "/v1/")
+}
+
+// finishTrace closes the request's trace after the API handler returns.
+// It sits INSIDE the timeout wrapper on purpose: http.TimeoutHandler
+// runs its inner handler in a separate goroutine and abandons it on
+// expiry, so finishing in the outer middleware would return the pooled
+// trace record while the abandoned handler may still be writing spans
+// into it. Here, Finish runs on the handler's own goroutine strictly
+// after all span writers (the batch fan-out joins before the handler
+// returns), and a timed-out request's trace simply finishes late — with
+// its true duration, which is exactly what the flight recorder should
+// show. The recorded status is the handler's own; the client-facing 503
+// of a timeout lives in the route metrics.
+func (s *Server) finishTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.TraceFromContext(r.Context())
+		if tr == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.flight.Finish(tr, status)
+	})
+}
+
+// handleDebugTraces serves GET /debug/traces: the flight recorder's
+// current state as JSON, filterable with ?route=<label> and
+// ?min_ms=<duration>. The dump is an independent copy — safe under
+// concurrent traffic, and reading it never perturbs the ring.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	var filter obs.TraceFilter
+	q := r.URL.Query()
+	filter.Route = q.Get("route")
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			s.fail(w, r, http.StatusBadRequest, "bad_request", "min_ms must be a non-negative number, got %q", v)
+			return
+		}
+		filter.MinDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	writeJSON(w, s.flight.Snapshot(filter))
+}
+
+// Flight returns the server's flight recorder (for the SIGUSR1 dump
+// path in cmd/cluseqd and for tests).
+func (s *Server) Flight() *obs.Flight { return s.flight }

@@ -34,6 +34,12 @@ func (e *Engine) consolidateLocked() {
 	e.consolidations++
 	e.met.consolidations.Inc()
 
+	// When a traced ingest triggered this pass, the pass's full cost
+	// lands on that request's trace — the §4.5/4.6 work is exactly the
+	// latency outlier the flight recorder exists to explain.
+	reqSpan := e.curTrace.StartSpan("stream_consolidate")
+	defer reqSpan.End()
+
 	sp := e.cfg.Tracer.Span("stream_merge", obs.Int64("pass", e.consolidations), obs.Int("clusters", len(e.clusters)))
 	start := time.Now() //cluseq:allow determinism: timestamp feeds the phase-seconds histogram only, never the clustering state
 	merged, dissolved := e.mergeAndDissolve()

@@ -26,6 +26,7 @@ type streamMetrics struct {
 	ingestSeconds    *obs.Histogram
 	mergeSeconds     *obs.Histogram
 	thresholdHistory *obs.Histogram
+	lockWaitSeconds  *obs.Histogram
 }
 
 func newStreamMetrics(reg *obs.Registry) streamMetrics {
@@ -57,5 +58,8 @@ func newStreamMetrics(reg *obs.Registry) streamMetrics {
 		// Thresholds land near 1; [0, 10) at 0.05 keeps the history
 		// readable as a distribution over consolidations.
 		thresholdHistory: reg.Histogram("cluseq_stream_threshold_history", 0, 10, 200),
+		// Time an ingest spent queued behind the engine mutex: [0, 1s)
+		// at 5ms resolution — the contention signal under open-loop load.
+		lockWaitSeconds: reg.Histogram("cluseq_stream_lock_wait_seconds", 0, 1, 200),
 	}
 }

@@ -24,6 +24,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -298,6 +299,13 @@ type Engine struct {
 
 	met streamMetrics
 
+	// curTrace is the request trace of the ingest currently holding the
+	// mutex (nil outside traced ingests); consolidateLocked attributes
+	// its consolidation span to it, so the request that happened to
+	// trigger a pass shows the cost it absorbed. Set and cleared under
+	// e.mu.
+	curTrace *obs.RequestTrace
+
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed bool
@@ -486,6 +494,38 @@ func (e *Engine) IngestBatch(batch [][]seq.Symbol) []Verdict {
 func (e *Engine) IngestStrings(batch []string) []Verdict {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.ingestStringsLocked(batch)
+}
+
+// IngestStringsCtx is IngestStrings with request-trace attribution: when
+// ctx carries a live trace (obs.ContextWithTrace), the time spent queued
+// behind the engine mutex and the time doing the actual ingest work are
+// recorded as separate spans (stream_queue_wait / stream_ingest), and a
+// consolidation pass triggered by this batch appears as its own span on
+// the same trace. The queue wait also feeds the
+// cluseq_stream_lock_wait_seconds histogram for every caller, traced or
+// not. Verdicts are identical to IngestStrings — tracing observes the
+// engine, never steers it.
+func (e *Engine) IngestStringsCtx(ctx context.Context, batch []string) []Verdict {
+	tr := obs.TraceFromContext(ctx)
+	wait := tr.StartSpan("stream_queue_wait")
+	lockStart := time.Now()
+	e.mu.Lock()
+	wait.End()
+	e.met.lockWaitSeconds.Observe(time.Since(lockStart).Seconds())
+	e.curTrace = tr
+	work := tr.StartSpan("stream_ingest")
+	defer func() {
+		work.End()
+		e.curTrace = nil
+		e.mu.Unlock()
+	}()
+	return e.ingestStringsLocked(batch)
+}
+
+// ingestStringsLocked encodes and ingests the batch in order. Caller
+// holds e.mu.
+func (e *Engine) ingestStringsLocked(batch []string) []Verdict {
 	out := make([]Verdict, len(batch))
 	for i, raw := range batch {
 		syms, err := e.cfg.Alphabet.Encode(raw)

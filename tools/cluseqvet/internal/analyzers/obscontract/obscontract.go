@@ -1,4 +1,4 @@
-// Package obscontract enforces the observability layer's two contracts.
+// Package obscontract enforces the observability layer's contracts.
 // First, nil handles are no-ops: every exported pointer-receiver method
 // on an exported internal/obs type must begin with a nil-receiver guard
 // (or be a single-statement delegation to another method on the same
@@ -6,6 +6,12 @@
 // as string literals must be valid Prometheus series names and unique
 // across the whole program — two packages registering the same name, or
 // the same name as different metric kinds, collide silently at runtime.
+// Third, span names passed as literals to RequestTrace.StartSpan,
+// RequestTrace.StartSpanUnder, and Tracer.Span must be lower_snake
+// identifiers (the span taxonomy is grep'd by dashboards and the CI
+// trace-identity check), and a span started into a named handle must be
+// ended — by a direct End call or a defer — somewhere in the same
+// function, or it sits open in the flight recorder forever (dur_us -1).
 package obscontract
 
 import (
@@ -29,11 +35,26 @@ var Analyzer = &analysis.Analyzer{
 // metricNameRE is the Prometheus data-model rule for series names.
 var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
+// spanNameRE is the repo's span taxonomy rule: lower_snake identifiers
+// like "classify_scan" or "stream_queue_wait".
+var spanNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
 // registrars maps obs.Registry constructor-method names to metric kinds.
 var registrars = map[string]string{
 	"Counter":   "counter",
 	"Gauge":     "gauge",
 	"Histogram": "histogram",
+}
+
+// spanStarters maps obs span-opening method names to (receiver type,
+// index of the name argument).
+var spanStarters = map[string]struct {
+	recv    string
+	nameArg int
+}{
+	"StartSpan":      {"RequestTrace", 0},
+	"StartSpanUnder": {"RequestTrace", 1},
+	"Span":           {"Tracer", 0},
 }
 
 func run(pass *analysis.Pass) error {
@@ -52,9 +73,19 @@ func run(pass *analysis.Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if call, ok := n.(*ast.CallExpr); ok {
 				checkRegistration(pass, call)
+				checkSpanName(pass, call)
 			}
 			return true
 		})
+		if !inObs {
+			// internal/obs itself is the implementation: StartSpan returns
+			// the handle to its caller by design.
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkSpanEnds(pass, fd)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -214,4 +245,128 @@ func checkRegistration(pass *analysis.Pass, call *ast.CallExpr) {
 		pass.Reportf(lit.Pos(), "metric %q registered as %s here but as %s at %s", name, kind, otherKind.Kind, otherKind.Site)
 	}
 	pass.Index.AddMetric(analysis.MetricReg{Name: name, Kind: kind, Pkg: pass.Pkg.Path(), Site: site})
+}
+
+// spanStarter resolves call to an obs span-opening method, returning
+// the index of its name argument, or -1 when it is something else.
+func spanStarter(info *types.Info, call *ast.CallExpr) int {
+	f := analysis.Callee(info, call)
+	if f == nil || f.Pkg() == nil {
+		return -1
+	}
+	want, ok := spanStarters[f.Name()]
+	if !ok {
+		return -1
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return -1
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != want.recv || named.Obj().Pkg() == nil ||
+		!strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs") {
+		return -1
+	}
+	return want.nameArg
+}
+
+// checkSpanName validates literal span names passed to obs span
+// openers, the same way literal metric names are validated.
+func checkSpanName(pass *analysis.Pass, call *ast.CallExpr) {
+	nameArg := spanStarter(pass.Info, call)
+	if nameArg < 0 || len(call.Args) <= nameArg {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[nameArg]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // dynamically built names are out of static reach; skip
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !spanNameRE.MatchString(name) {
+		pass.Reportf(lit.Pos(), "invalid span name %q (want lower_snake like \"classify_scan\")", name)
+	}
+}
+
+// checkSpanEnds flags spans opened in fd that can never close: a span
+// handle that is discarded outright, or assigned to a variable with no
+// End call (direct or deferred, including inside func literals) anywhere
+// in the same function. Handles that escape through other expressions —
+// returned, passed along, stored — are out of static reach and skipped.
+func checkSpanEnds(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type open struct {
+		pos  token.Pos
+		name string // method name, for the diagnostic
+		obj  types.Object
+	}
+	var opens []open
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && spanStarter(pass.Info, call) >= 0 {
+				opens = append(opens, open{pos: call.Pos(), name: starterName(pass.Info, call)})
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 || len(s.Lhs) != 1 {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || spanStarter(pass.Info, call) < 0 {
+				return true
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				opens = append(opens, open{pos: call.Pos(), name: starterName(pass.Info, call)})
+				return true
+			}
+			opens = append(opens, open{pos: call.Pos(), name: starterName(pass.Info, call), obj: analysis.ObjOf(pass.Info, id)})
+		}
+		return true
+	})
+	if len(opens) == 0 {
+		return
+	}
+	ended := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := analysis.ObjOf(pass.Info, id); obj != nil {
+				ended[obj] = true
+			}
+		}
+		return true
+	})
+	for _, o := range opens {
+		if o.obj == nil {
+			pass.Reportf(o.pos, "%s discards its span handle; the span can never be ended", o.name)
+			continue
+		}
+		if !ended[o.obj] {
+			pass.Reportf(o.pos, "span from %s is never ended in this function; call %s.End (or defer it)", o.name, o.obj.Name())
+		}
+	}
+}
+
+// starterName names the span-opening method for diagnostics.
+func starterName(info *types.Info, call *ast.CallExpr) string {
+	if f := analysis.Callee(info, call); f != nil {
+		return f.Name()
+	}
+	return "span start"
 }

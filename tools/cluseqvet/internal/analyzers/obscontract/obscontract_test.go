@@ -10,5 +10,5 @@ import (
 
 func TestObsContract(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{obscontract.Analyzer},
-		"internal/obs", "obsuser", "obsuser2")
+		"internal/obs", "obsuser", "obsuser2", "spanuser")
 }

@@ -63,3 +63,43 @@ func (r *Registry) Histogram(name string, lo, hi float64, buckets int, labels ..
 	r.names[name] = "histogram"
 	return &Counter{}
 }
+
+// Span surface, mirroring the real package's request-trace and tracer
+// span openers for the span-name and span-end checks.
+
+type SpanHandle struct{ idx int }
+
+func (h SpanHandle) End() {}
+
+type RequestTrace struct{ n int }
+
+func (t *RequestTrace) StartSpan(name string) SpanHandle {
+	return t.StartSpanUnder(SpanHandle{}, name)
+}
+
+func (t *RequestTrace) StartSpanUnder(parent SpanHandle, name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	t.n++
+	return SpanHandle{idx: t.n}
+}
+
+type Span struct{ name string }
+
+func (s *Span) End(attrs ...int) {
+	if s == nil {
+		return
+	}
+	s.name = ""
+}
+
+type Tracer struct{ spans int }
+
+func (t *Tracer) Span(name string, attrs ...int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.spans++
+	return &Span{name: name}
+}
